@@ -1,0 +1,58 @@
+"""Quickstart: simulate a DNN inference on the CrossLight accelerator.
+
+This example walks the shortest end-to-end path through the library:
+
+1. build one of the paper's evaluation models (LeNet-5);
+2. build the best CrossLight variant (optimized MRs + TED hybrid tuning);
+3. trace the model's dot-product workload and simulate it on the
+   accelerator, printing latency, power, FPS, and energy-per-bit;
+4. show the same model on the other three CrossLight variants so the effect
+   of each cross-layer optimization is visible.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.arch import CrossLightAccelerator
+from repro.nn import build_model
+from repro.sim import format_table, simulate_model
+
+
+def main() -> None:
+    model = build_model(1)  # LeNet-5 on Sign-MNIST (Table I, model 1)
+    print(f"Model: {model.name}  ({model.n_parameters:,} parameters)")
+
+    best = CrossLightAccelerator.from_variant("cross_opt_ted")
+    report = simulate_model(best, model)
+    print(
+        f"\n{best.name}: latency {report.latency_s * 1e6:.1f} us, "
+        f"power {report.power_w:.1f} W, "
+        f"{report.fps:,.0f} FPS, "
+        f"EPB {report.epb_pj_per_bit:.1f} pJ/bit"
+    )
+
+    print("\nAll CrossLight variants on the same model:")
+    rows = []
+    for accelerator in CrossLightAccelerator.all_variants():
+        variant_report = simulate_model(accelerator, model)
+        rows.append(
+            [
+                accelerator.name,
+                variant_report.power_w,
+                variant_report.fps,
+                variant_report.epb_pj_per_bit,
+                variant_report.kfps_per_watt,
+            ]
+        )
+    print(format_table(["Variant", "Power (W)", "FPS", "EPB (pJ/bit)", "kFPS/W"], rows))
+
+    breakdown = best.power_breakdown()
+    print("\nCross_opt_TED power breakdown (W):")
+    for component, value in breakdown.as_dict().items():
+        print(f"  {component:<18} {value:8.2f}")
+    print(f"  {'total':<18} {breakdown.total_w:8.2f}")
+
+
+if __name__ == "__main__":
+    main()

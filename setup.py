@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works in minimal offline environments whose
+setuptools/pip combination cannot build PEP 660 editable wheels (no ``wheel``
+package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""CrossLight reproduction: a cross-layer silicon photonic DNN accelerator.
+
+This package is a from-scratch Python reproduction of *CrossLight: A
+Cross-Layer Optimized Silicon Photonic Neural Network Accelerator*
+(Sunny, Mirza, Nikdast, Pasricha -- DAC 2021).  It contains:
+
+* :mod:`repro.devices` -- silicon photonic / optoelectronic device models
+  (microrings, microdisks, waveguides, lasers, photodetectors, modulators,
+  converters) with the paper's Table II parameters and loss budget;
+* :mod:`repro.variations` -- fabrication-process-variation and thermal
+  crosstalk models, including a finite-difference heat solver standing in
+  for Lumerical HEAT and the waveguide-width design-space exploration;
+* :mod:`repro.tuning` -- thermo-optic, electro-optic, TED, and hybrid MR
+  tuning circuits;
+* :mod:`repro.crosstalk` -- inter-channel crosstalk and resolution analysis
+  (paper Eqs. 8-10);
+* :mod:`repro.nn` -- a pure-NumPy DNN substrate (layers, training,
+  quantization, synthetic datasets, the Table I model zoo) replacing the
+  paper's TensorFlow/QKeras stack;
+* :mod:`repro.arch` -- the CrossLight architecture (VDP units, vector
+  decomposition, power/latency/area/EPB models, the four evaluated variants);
+* :mod:`repro.baselines` -- DEAP-CNN, HolyLight, and electronic platform
+  reference models;
+* :mod:`repro.sim` -- the performance/energy simulator mapping DNN workloads
+  onto accelerator models;
+* :mod:`repro.experiments` -- one driver per paper table/figure.
+
+Quick start::
+
+    from repro.arch import CrossLightAccelerator
+    from repro.nn import build_model
+    from repro.sim import simulate_model
+
+    accelerator = CrossLightAccelerator.from_variant("cross_opt_ted")
+    report = simulate_model(accelerator, build_model(1))
+    print(report.fps, report.epb_pj_per_bit)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

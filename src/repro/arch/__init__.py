@@ -1,0 +1,61 @@
+"""CrossLight architecture-level models.
+
+* :mod:`repro.arch.config` -- accelerator geometry (N, K, n, m) and the four
+  evaluated variants.
+* :mod:`repro.arch.decomposition` -- CONV/FC vector decomposition onto VDP
+  operations (functional correctness + cycle counting).
+* :mod:`repro.arch.vdp` -- the vector-dot-product unit (arms, MR banks,
+  wavelength reuse, losses, laser power, latency, area).
+* :mod:`repro.arch.power` / :mod:`repro.arch.metrics` -- power breakdown and
+  FPS/EPB/perf-per-watt report containers.
+* :mod:`repro.arch.accelerator` -- the generic photonic accelerator model and
+  :class:`CrossLightAccelerator`.
+"""
+
+from repro.arch.accelerator import CrossLightAccelerator, PhotonicAccelerator
+from repro.arch.config import (
+    BEST_K,
+    BEST_M_FC_UNITS,
+    BEST_N,
+    BEST_N_CONV_UNITS,
+    MAX_MRS_PER_BANK,
+    CrossLightConfig,
+    design_space_geometries,
+)
+from repro.arch.decomposition import (
+    DecompositionPlan,
+    conv2d_reference,
+    conv2d_via_vdp,
+    decompose_vector,
+    dot_product_partial_sums,
+    matvec_via_vdp,
+    plan_layer,
+)
+from repro.arch.metrics import AggregateReport, InferenceReport, aggregate
+from repro.arch.power import PowerBreakdown
+from repro.arch.vdp import VDPDeviceInventory, VDPUnit
+
+__all__ = [
+    "AggregateReport",
+    "BEST_K",
+    "BEST_M_FC_UNITS",
+    "BEST_N",
+    "BEST_N_CONV_UNITS",
+    "CrossLightAccelerator",
+    "CrossLightConfig",
+    "DecompositionPlan",
+    "InferenceReport",
+    "MAX_MRS_PER_BANK",
+    "PhotonicAccelerator",
+    "PowerBreakdown",
+    "VDPDeviceInventory",
+    "VDPUnit",
+    "aggregate",
+    "conv2d_reference",
+    "conv2d_via_vdp",
+    "decompose_vector",
+    "design_space_geometries",
+    "dot_product_partial_sums",
+    "matvec_via_vdp",
+    "plan_layer",
+]

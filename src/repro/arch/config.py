@@ -1,0 +1,218 @@
+"""CrossLight accelerator configuration and the four evaluated variants.
+
+The architecture (paper Section IV.C and Fig. 3) is parameterised by
+
+* ``N`` -- dot-product size of one CONV-layer VDP unit,
+* ``K`` -- dot-product size of one FC-layer VDP unit,
+* ``n`` -- number of CONV VDP units,
+* ``m`` -- number of FC VDP units,
+
+with the paper's design-space exploration (Fig. 6) selecting
+``(N, K, n, m) = (20, 150, 100, 60)``.  On top of the geometry, a
+configuration fixes the device/tuning choices that differentiate the four
+evaluated variants (Section V.D):
+
+=================  ==================  =========================
+Variant            MR design           Tuning approach
+=================  ==================  =========================
+``Cross_base``     conventional        naive TO (120 um pitch)
+``Cross_opt``      optimized (IV.A)    naive TO (120 um pitch)
+``Cross_base_TED`` conventional        TED hybrid (5 um pitch)
+``Cross_opt_TED``  optimized (IV.A)    TED hybrid (5 um pitch)
+=================  ==================  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.devices.constants import (
+    CONVENTIONAL_MR,
+    DEFAULT_LOSSES,
+    EO_TUNING,
+    OPTIMIZED_MR,
+    TO_TUNING,
+    MRDesignParameters,
+    PhotonicLosses,
+)
+from repro.utils.validation import check_positive, check_positive_int
+
+#: Paper-selected architecture geometry (Fig. 6 best FPS/EPB configuration).
+BEST_N = 20
+BEST_K = 150
+BEST_N_CONV_UNITS = 100
+BEST_M_FC_UNITS = 60
+
+#: Maximum number of MRs per weight/activation bank (Section IV.C.2/3).
+MAX_MRS_PER_BANK = 15
+
+
+@dataclass(frozen=True)
+class CrossLightConfig:
+    """Full configuration of a CrossLight accelerator instance.
+
+    Parameters
+    ----------
+    name:
+        Variant name used in reports (e.g. ``"Cross_opt_TED"``).
+    conv_vector_size, fc_vector_size:
+        Dot-product sizes ``N`` and ``K`` of the CONV and FC VDP units.
+    n_conv_units, n_fc_units:
+        Unit counts ``n`` and ``m``.
+    mrs_per_bank:
+        MRs per weight (and per activation) bank within each VDP arm;
+        bounded by the crosstalk-limited resolution analysis to 15.
+    mr_design:
+        MR design point (conventional or optimized).
+    use_ted:
+        Whether boot-time/thermal compensation uses the TED collective solve.
+    mr_pitch_um:
+        Ring spacing; 5 um with TED, 120 um without (thermal-crosstalk
+        spacing rule).
+    weight_update_latency_s:
+        Latency to imprint a new vector element set on a bank; the hybrid
+        tuning circuit achieves the EO figure (20 ns), conventional thermal
+        imprinting pays the TO figure (4 us).
+    resolution_bits:
+        Weight/activation resolution the architecture sustains.
+    losses:
+        Photonic loss budget used by the laser power model.
+    """
+
+    name: str
+    conv_vector_size: int = BEST_N
+    fc_vector_size: int = BEST_K
+    n_conv_units: int = BEST_N_CONV_UNITS
+    n_fc_units: int = BEST_M_FC_UNITS
+    mrs_per_bank: int = MAX_MRS_PER_BANK
+    mr_design: MRDesignParameters = field(default_factory=lambda: OPTIMIZED_MR)
+    use_ted: bool = True
+    mr_pitch_um: float = 5.0
+    weight_update_latency_s: float = EO_TUNING.latency_s
+    resolution_bits: int = 16
+    losses: PhotonicLosses = field(default_factory=lambda: DEFAULT_LOSSES)
+
+    def __post_init__(self) -> None:
+        check_positive_int("conv_vector_size", self.conv_vector_size)
+        check_positive_int("fc_vector_size", self.fc_vector_size)
+        check_positive_int("n_conv_units", self.n_conv_units)
+        check_positive_int("n_fc_units", self.n_fc_units)
+        check_positive_int("mrs_per_bank", self.mrs_per_bank)
+        check_positive("mr_pitch_um", self.mr_pitch_um)
+        check_positive("weight_update_latency_s", self.weight_update_latency_s)
+        check_positive_int("resolution_bits", self.resolution_bits)
+        if self.mrs_per_bank > MAX_MRS_PER_BANK:
+            raise ValueError(
+                f"mrs_per_bank={self.mrs_per_bank} exceeds the crosstalk-limited "
+                f"maximum of {MAX_MRS_PER_BANK}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Variant constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def cross_base(cls, **overrides) -> "CrossLightConfig":
+        """Conventional MR design + naive TO tuning (no TED)."""
+        return cls(
+            name="Cross_base",
+            mr_design=CONVENTIONAL_MR,
+            use_ted=False,
+            mr_pitch_um=120.0,
+            **overrides,
+        )
+
+    @classmethod
+    def cross_opt(cls, **overrides) -> "CrossLightConfig":
+        """Optimized MR design + naive TO tuning (no TED)."""
+        return cls(
+            name="Cross_opt",
+            mr_design=OPTIMIZED_MR,
+            use_ted=False,
+            mr_pitch_um=120.0,
+            **overrides,
+        )
+
+    @classmethod
+    def cross_base_ted(cls, **overrides) -> "CrossLightConfig":
+        """Conventional MR design + TED-based hybrid tuning."""
+        return cls(
+            name="Cross_base_TED",
+            mr_design=CONVENTIONAL_MR,
+            use_ted=True,
+            mr_pitch_um=5.0,
+            **overrides,
+        )
+
+    @classmethod
+    def cross_opt_ted(cls, **overrides) -> "CrossLightConfig":
+        """Optimized MR design + TED-based hybrid tuning (the best variant)."""
+        return cls(
+            name="Cross_opt_TED",
+            mr_design=OPTIMIZED_MR,
+            use_ted=True,
+            mr_pitch_um=5.0,
+            **overrides,
+        )
+
+    @classmethod
+    def all_variants(cls) -> tuple["CrossLightConfig", ...]:
+        """The four variants evaluated in Section V.D, in paper order."""
+        return (
+            cls.cross_base(),
+            cls.cross_base_ted(),
+            cls.cross_opt(),
+            cls.cross_opt_ted(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    def with_geometry(
+        self, conv_vector_size: int, fc_vector_size: int, n_conv_units: int, n_fc_units: int
+    ) -> "CrossLightConfig":
+        """Copy of the config with a different (N, K, n, m) geometry."""
+        return replace(
+            self,
+            conv_vector_size=conv_vector_size,
+            fc_vector_size=fc_vector_size,
+            n_conv_units=n_conv_units,
+            n_fc_units=n_fc_units,
+        )
+
+    @property
+    def fpv_drift_nm(self) -> float:
+        """Boot-time resonance drift the tuning circuit must compensate."""
+        return self.mr_design.fpv_drift_nm
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak multiply-accumulates per vector-operation cycle."""
+        return (
+            self.conv_vector_size * self.n_conv_units
+            + self.fc_vector_size * self.n_fc_units
+        )
+
+
+def design_space_geometries(
+    conv_sizes: tuple[int, ...] = (5, 10, 15, 20),
+    fc_sizes: tuple[int, ...] = (50, 100, 150),
+    conv_units: tuple[int, ...] = (25, 50, 75, 100),
+    fc_units: tuple[int, ...] = (30, 45, 60),
+) -> Iterator[tuple[int, int, int, int]]:
+    """Geometries swept by the Fig. 6 design-space exploration.
+
+    Yields ``(N, K, n, m)`` tuples.  The defaults bracket the paper's chosen
+    configuration (20, 150, 100, 60).
+    """
+    for n_size in conv_sizes:
+        for k_size in fc_sizes:
+            for n_units in conv_units:
+                for m_units in fc_units:
+                    yield (n_size, k_size, n_units, m_units)
+
+
+#: Thermo-optic and electro-optic tuning parameter handles re-exported for
+#: convenience of architecture-level code.
+TO_TUNING_PARAMS = TO_TUNING
+EO_TUNING_PARAMS = EO_TUNING

@@ -1,0 +1,284 @@
+"""Vector dot product (VDP) unit model (paper Section IV.C.2-C.3, Fig. 3).
+
+A VDP unit computes one dot product of up to ``vector_size`` elements per
+operation.  Internally the vector is split across parallel *arms*; each arm
+carries up to 15 wavelengths (one per vector element chunk), imprints the
+activation chunk with one MR bank and the weight chunk with a second MR bank,
+and sums the element-wise products on a balanced photodetector.  The per-arm
+partial sums are re-emitted by VCSELs, multiplexed, and accumulated by a
+final photodetector -- this is the wavelength-reuse scheme that lets all arms
+share the same 15 laser wavelengths.
+
+The class exposes three views of the unit:
+
+* **inventory** -- device counts (MRs, PDs, TIAs, VCSELs, converter channels)
+  used by the power and area models;
+* **optics** -- the worst-case optical path loss and the laser power required
+  by Eq. 7;
+* **behaviour** -- a functional ``dot_product`` that applies the same
+  chunk/arm decomposition (and optionally the quantization imposed by the
+  architecture's resolution) so the architecture can be validated end-to-end
+  against plain NumPy arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.constants import (
+    DEFAULT_LOSSES,
+    PHOTODETECTOR,
+    TIA,
+    VCSEL,
+    PhotonicLosses,
+)
+from repro.devices.laser import LaserSource
+from repro.devices.mr_bank import MRBank
+from repro.devices.transceiver import adc_channel, dac_channel
+from repro.devices.waveguide import Combiner, SplitterTree, waveguide_for_mr_chain
+from repro.nn.quantization import quantize_array
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class VDPDeviceInventory:
+    """Device counts of one VDP unit."""
+
+    n_arms: int
+    mrs_per_arm: int
+    photodetectors: int
+    tias: int
+    vcsels: int
+    dac_channels: int
+    adc_channels: int
+
+    @property
+    def total_mrs(self) -> int:
+        """Total microrings in the unit (weight + activation banks, all arms)."""
+        return self.n_arms * self.mrs_per_arm
+
+
+@dataclass
+class VDPUnit:
+    """One vector-dot-product unit.
+
+    Parameters
+    ----------
+    vector_size:
+        Maximum dot-product length the unit supports per operation
+        (``N`` for CONV units, ``K`` for FC units).
+    mrs_per_bank:
+        Elements handled per arm (per bank); 15 in CrossLight.
+    mr_pitch_um:
+        Ring spacing inside a bank (depends on the tuning strategy).
+    losses:
+        Photonic loss budget.
+    detector_sensitivity_dbm:
+        Sensitivity of the unit's photodetectors (for the laser model).
+    """
+
+    vector_size: int
+    mrs_per_bank: int = 15
+    mr_pitch_um: float = 5.0
+    losses: PhotonicLosses = field(default_factory=lambda: DEFAULT_LOSSES)
+    detector_sensitivity_dbm: float = -20.0
+
+    def __post_init__(self) -> None:
+        check_positive_int("vector_size", self.vector_size)
+        check_positive_int("mrs_per_bank", self.mrs_per_bank)
+        check_positive("mr_pitch_um", self.mr_pitch_um)
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    @property
+    def n_arms(self) -> int:
+        """Parallel arms needed to cover ``vector_size`` elements."""
+        return math.ceil(self.vector_size / self.mrs_per_bank)
+
+    @property
+    def wavelengths_per_arm(self) -> int:
+        """Distinct wavelengths each arm carries (reused across arms)."""
+        return min(self.vector_size, self.mrs_per_bank)
+
+    @property
+    def inventory(self) -> VDPDeviceInventory:
+        """Device counts for the power/area models.
+
+        Each arm has two MR banks (activation imprint + weighting), one
+        balanced photodetector (2 diodes) with a TIA, and one VCSEL for
+        partial-sum re-emission; the unit adds a final accumulating
+        photodetector + TIA and one ADC channel, plus one DAC channel per MR
+        being programmed each cycle.
+        """
+        mrs_per_arm = 2 * self.wavelengths_per_arm
+        photodetectors = 2 * self.n_arms + 1
+        tias = self.n_arms + 1
+        vcsels = self.n_arms
+        dac_channels = self.n_arms * mrs_per_arm
+        adc_channels = 1
+        return VDPDeviceInventory(
+            n_arms=self.n_arms,
+            mrs_per_arm=mrs_per_arm,
+            photodetectors=photodetectors,
+            tias=tias,
+            vcsels=vcsels,
+            dac_channels=dac_channels,
+            adc_channels=adc_channels,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Optics
+    # ------------------------------------------------------------------ #
+    def arm_path_loss_db(self) -> float:
+        """Worst-case optical loss from the unit input to an arm's detector.
+
+        The path comprises the splitter tree fanning the WDM signal to the
+        arms, the activation-imprint bank, the weight bank, and the bus
+        waveguide segments (whose length depends on the ring pitch allowed by
+        the thermal-crosstalk strategy).
+        """
+        splitter = SplitterTree(self.n_arms, self.losses.splitter_db)
+        bank = MRBank(
+            n_mrs=self.wavelengths_per_arm,
+            mr_pitch_um=self.mr_pitch_um,
+            losses=self.losses,
+        )
+        # Two banks per arm: activation imprint + weighting.
+        return splitter.insertion_loss_db + 2.0 * bank.insertion_loss_db
+
+    def accumulation_path_loss_db(self) -> float:
+        """Loss of the partial-sum accumulation path (VCSEL -> combiner -> PD)."""
+        combiner = Combiner(self.n_arms, self.losses.combiner_db)
+        link = waveguide_for_mr_chain(self.n_arms, 20.0, self.losses)
+        return combiner.insertion_loss_db + link.insertion_loss_db
+
+    def laser_power_w(self, wall_plug_efficiency: float = 0.25) -> float:
+        """Electrical laser power needed to drive one operation of the unit.
+
+        Uses the paper's Eq. 7 with the arm path loss and the number of
+        wavelengths sharing the waveguide.  Wavelength reuse means only
+        ``wavelengths_per_arm`` distinct wavelengths are needed regardless of
+        how many arms the unit has.
+        """
+        laser = LaserSource(
+            n_wavelengths=self.wavelengths_per_arm,
+            wall_plug_efficiency=wall_plug_efficiency,
+            detector_sensitivity_dbm=self.detector_sensitivity_dbm,
+        )
+        return laser.electrical_power_watt(self.arm_path_loss_db())
+
+    # ------------------------------------------------------------------ #
+    # Electrical (static) power of the receive/convert chain
+    # ------------------------------------------------------------------ #
+    def receiver_power_w(self) -> float:
+        """Static power of photodetectors, TIAs and VCSELs in the unit."""
+        inv = self.inventory
+        return (
+            inv.photodetectors * PHOTODETECTOR.power_w
+            + inv.tias * TIA.power_w
+            + inv.vcsels * VCSEL.power_w
+        )
+
+    def converter_power_w(self, dac_share: float = 1.0) -> float:
+        """Power of the unit's DAC and ADC channels.
+
+        ``dac_share`` scales the DAC array power to model DAC channels that
+        are time-multiplexed across banks rather than dedicated per MR.
+        """
+        if not 0.0 < dac_share <= 1.0:
+            raise ValueError("dac_share must be in (0, 1]")
+        inv = self.inventory
+        dac = dac_channel()
+        adc = adc_channel()
+        return inv.dac_channels * dac.power_w * dac_share + inv.adc_channels * adc.power_w
+
+    # ------------------------------------------------------------------ #
+    # Latency
+    # ------------------------------------------------------------------ #
+    def operation_latency_s(self, weight_update_latency_s: float) -> float:
+        """Latency of one vector-dot-product operation.
+
+        One operation imprints new activation/weight values (the update
+        latency, set by the tuning circuit), propagates light through the
+        banks (negligible), detects and amplifies the per-arm partial sums,
+        re-emits and accumulates them, and digitises the result.
+        """
+        check_positive("weight_update_latency_s", weight_update_latency_s)
+        adc = adc_channel()
+        detection_chain = (
+            PHOTODETECTOR.latency_s  # per-arm balanced detection
+            + TIA.latency_s
+            + VCSEL.latency_s  # partial-sum re-emission
+            + PHOTODETECTOR.latency_s  # final accumulation
+            + TIA.latency_s
+            + adc.conversion_latency_s
+        )
+        return weight_update_latency_s + detection_chain
+
+    # ------------------------------------------------------------------ #
+    # Area
+    # ------------------------------------------------------------------ #
+    def area_mm2(self) -> float:
+        """Approximate layout area of the unit in mm^2.
+
+        Sums the MR bank footprints (pitch dependent), photodetector/TIA/
+        VCSEL macros, and a fixed overhead for waveguide routing and the
+        splitter/combiner trees.
+        """
+        bank = MRBank(
+            n_mrs=self.wavelengths_per_arm,
+            mr_pitch_um=self.mr_pitch_um,
+            losses=self.losses,
+        )
+        bank_area_um2 = bank.footprint_um2
+        pd_area_um2 = 30.0 * 30.0
+        tia_area_um2 = 50.0 * 50.0
+        vcsel_area_um2 = 40.0 * 40.0
+        inv = self.inventory
+        total_um2 = (
+            2.0 * self.n_arms * bank_area_um2
+            + inv.photodetectors * pd_area_um2
+            + inv.tias * tia_area_um2
+            + inv.vcsels * vcsel_area_um2
+            + 5_000.0  # routing / splitter / combiner overhead
+        )
+        return total_um2 * 1e-6
+
+    # ------------------------------------------------------------------ #
+    # Functional behaviour
+    # ------------------------------------------------------------------ #
+    def dot_product(
+        self,
+        weights: np.ndarray,
+        activations: np.ndarray,
+        resolution_bits: int | None = None,
+    ) -> float:
+        """Compute a dot product the way the unit schedules it.
+
+        The vectors are split into per-arm chunks of ``mrs_per_bank``
+        elements; each chunk's element-wise product is summed (the balanced
+        photodetector), and the per-arm partial sums are accumulated (the
+        final photodetector).  If ``resolution_bits`` is given, weights and
+        activations are quantized to that resolution first, emulating the
+        finite precision of the photonic representation.
+        """
+        weights = np.asarray(weights, dtype=float)
+        activations = np.asarray(activations, dtype=float)
+        if weights.shape != activations.shape or weights.ndim != 1:
+            raise ValueError("weights and activations must be 1-D arrays of equal length")
+        if weights.size > self.vector_size:
+            raise ValueError(
+                f"vector of length {weights.size} exceeds unit capacity {self.vector_size}"
+            )
+        if resolution_bits is not None:
+            weights = quantize_array(weights, resolution_bits)
+            activations = quantize_array(activations, resolution_bits)
+        total = 0.0
+        for start in range(0, weights.size, self.mrs_per_bank):
+            stop = start + self.mrs_per_bank
+            total += float(np.dot(weights[start:stop], activations[start:stop]))
+        return total

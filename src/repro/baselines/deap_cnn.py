@@ -1,0 +1,132 @@
+"""Analytic model of the DEAP-CNN photonic accelerator baseline [11].
+
+DEAP-CNN ("Digital Electronics and Analog Photonics for CNNs") implements
+convolution units sized to the CNN kernel (up to 5x5 = 25 element dot
+products) and, as the paper points out (Section IV.C.2), reuses those same
+small units for FC layers, chopping the large FC vectors into kernel-sized
+chunks.  Its other architectural characteristics, as described in the
+CrossLight paper:
+
+* weights are imprinted by *thermal* phase tuning of the MRs, so every new
+  kernel/activation value pays the microsecond-scale thermo-optic latency and
+  the TO holding power;
+* no FPV-optimized device design and no thermal-crosstalk management, so MRs
+  follow the conventional 120-200 um spacing rule and pay full naive TO
+  compensation for the 7.1 nm conventional-design drift;
+* one dedicated wavelength per vector element with no reuse, so all 25
+  channels share one waveguide and the achievable resolution is ~4 bits.
+
+Unit counts default to a configuration filling roughly the same ~20 mm^2
+area budget the paper allows all accelerators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.accelerator import PhotonicAccelerator
+from repro.arch.power import PowerBreakdown
+from repro.arch.vdp import VDPUnit
+from repro.crosstalk.resolution import deap_cnn_bank_resolution
+from repro.devices.constants import CONVENTIONAL_MR, DEFAULT_LOSSES, TO_TUNING, PhotonicLosses
+from repro.tuning.ted import ThermalEigenmodeDecomposition
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass
+class DeapCnnAccelerator(PhotonicAccelerator):
+    """DEAP-CNN performance/power model.
+
+    Parameters
+    ----------
+    n_units:
+        Number of convolution units; the default fills roughly the paper's
+        common ~20 mm^2 area budget.
+    kernel_capacity:
+        Dot-product size of each unit (5x5 kernels -> 25).
+    mr_pitch_um:
+        Ring spacing (conventional thermal-crosstalk spacing rule).
+    """
+
+    n_units: int = 180
+    kernel_capacity: int = 25
+    mr_pitch_um: float = 120.0
+    losses: PhotonicLosses = field(default_factory=lambda: DEFAULT_LOSSES)
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_units", self.n_units)
+        check_positive_int("kernel_capacity", self.kernel_capacity)
+        check_positive("mr_pitch_um", self.mr_pitch_um)
+        self.name = "DEAP_CNN"
+        self.resolution_bits = deap_cnn_bank_resolution(
+            n_channels=self.kernel_capacity
+        ).resolution_bits
+        # DEAP-CNN uses the same conv-sized units for both layer types.
+        self.conv_vector_size = self.kernel_capacity
+        self.n_conv_units = self.n_units
+        self.fc_vector_size = self.kernel_capacity
+        self.n_fc_units = self.n_units
+        # A DEAP unit carries all kernel_capacity wavelengths on one arm
+        # (no wavelength reuse), which the VDPUnit model expresses as a
+        # single bank of kernel_capacity MRs.
+        self._unit = VDPUnit(
+            vector_size=self.kernel_capacity,
+            mrs_per_bank=self.kernel_capacity,
+            mr_pitch_um=self.mr_pitch_um,
+            losses=self.losses,
+        )
+        self._ted_solver = ThermalEigenmodeDecomposition()
+
+    # ------------------------------------------------------------------ #
+    # Power
+    # ------------------------------------------------------------------ #
+    def _fpv_compensation_power_per_bank_w(self) -> float:
+        """Naive TO compensation of the conventional design's 7.1 nm drift."""
+        drift_nm = CONVENTIONAL_MR.fpv_drift_nm
+        phase_per_ring = 2.0 * np.pi * drift_nm / CONVENTIONAL_MR.fsr_nm
+        return self._ted_solver.uniform_bank_power_w(
+            n_rings=self._unit.wavelengths_per_arm,
+            pitch_um=self.mr_pitch_um,
+            phase_per_ring_rad=phase_per_ring,
+            use_ted=False,
+        )
+
+    def _weight_imprint_power_per_mr_w(self, mean_detuning_nm: float = 4.5) -> float:
+        """Thermo-optic holding power of an imprinted weight value.
+
+        DEAP-CNN imprints kernel/activation values by tuning each MR across
+        its full transmission swing (no EO pre-biasing), so the average
+        detuning is a sizeable fraction of the FSR (~FSR/4 by default) rather
+        than the sub-nanometre nudges CrossLight's hybrid circuit applies.
+        """
+        return TO_TUNING.power_for_shift_w(mean_detuning_nm, CONVENTIONAL_MR.fsr_nm)
+
+    def power_breakdown(self) -> PowerBreakdown:
+        total_banks = self.n_units * 2 * self._unit.n_arms
+        total_mrs = self.n_units * self._unit.inventory.total_mrs
+        laser = self.n_units * self._unit.laser_power_w()
+        tuning_static = total_banks * self._fpv_compensation_power_per_bank_w()
+        tuning_dynamic = total_mrs * self._weight_imprint_power_per_mr_w()
+        receivers = self.n_units * self._unit.receiver_power_w()
+        converters = self.n_units * self._unit.converter_power_w(dac_share=0.5)
+        control = 0.1 * (receivers + converters)
+        return PowerBreakdown(
+            laser_w=laser,
+            tuning_static_w=tuning_static,
+            tuning_dynamic_w=tuning_dynamic,
+            receivers_w=receivers,
+            converters_w=converters,
+            control_w=control,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Area / latency
+    # ------------------------------------------------------------------ #
+    def area_mm2(self) -> float:
+        return self.n_units * self._unit.area_mm2()
+
+    def cycle_time_s(self) -> float:
+        """Per-operation latency, dominated by the thermo-optic weight update."""
+        return self._unit.operation_latency_s(TO_TUNING.latency_s)

@@ -1,0 +1,195 @@
+"""Analytic model of the HolyLight photonic accelerator baseline [12].
+
+HolyLight is a microdisk-based nanophotonic accelerator.  The
+characteristics the CrossLight paper relies on for its comparison:
+
+* microdisks instead of microrings -- smaller and lower drive power per
+  device, but inherently lossier (whispering-gallery tunneling-ray
+  attenuation; the paper budgets 1.22 dB per microdisk versus 0.02 dB MR
+  through loss);
+* ~2-bit resolution per microdisk, so reaching 16-bit weights requires
+  ganging 8 microdisks per weight -- multiplying both the device count and
+  the per-weight optical loss;
+* no FPV-optimized device engineering and no TED-style thermal-crosstalk
+  management, so the microdisk thermal tuners pay naive compensation power
+  and conventional spacing;
+* weight/activation updates are driven through the microdisks' integrated
+  thermal tuners at a finer granularity than DEAP-CNN (HolyLight pipelines
+  its "whispering-gallery" stages), modelled here as a sub-microsecond
+  effective update latency.
+
+The model reuses the shared :class:`repro.arch.accelerator.PhotonicAccelerator`
+machinery so HolyLight is simulated on exactly the same workloads as
+CrossLight and DEAP-CNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.accelerator import PhotonicAccelerator
+from repro.arch.power import PowerBreakdown
+from repro.crosstalk.resolution import holylight_microdisk_resolution
+from repro.devices.constants import (
+    CONVENTIONAL_MR,
+    DEFAULT_LOSSES,
+    PHOTODETECTOR,
+    TIA,
+    TO_TUNING,
+    PhotonicLosses,
+)
+from repro.devices.laser import LaserSource
+from repro.devices.microdisk import Microdisk
+from repro.devices.transceiver import adc_channel, dac_channel
+from repro.devices.waveguide import Combiner, SplitterTree, Waveguide
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass
+class HolyLightAccelerator(PhotonicAccelerator):
+    """HolyLight performance/power model.
+
+    Parameters
+    ----------
+    n_units:
+        Number of microdisk dot-product units.
+    unit_vector_size:
+        Dot-product length of each unit (number of weights per unit).
+    target_resolution_bits:
+        Weight resolution delivered by ganging microdisks (16 in the paper,
+        via 8 x 2-bit disks).
+    update_latency_s:
+        Effective weight/activation update latency of the pipelined
+        microdisk thermal tuners.
+    """
+
+    n_units: int = 60
+    unit_vector_size: int = 36
+    target_resolution_bits: int = 16
+    update_latency_s: float = 200e-9
+    microdisk: Microdisk = field(default_factory=Microdisk)
+    losses: PhotonicLosses = field(default_factory=lambda: DEFAULT_LOSSES)
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_units", self.n_units)
+        check_positive_int("unit_vector_size", self.unit_vector_size)
+        check_positive_int("target_resolution_bits", self.target_resolution_bits)
+        check_positive("update_latency_s", self.update_latency_s)
+        self.name = "Holylight"
+        self.resolution_bits = self.target_resolution_bits
+        self.conv_vector_size = self.unit_vector_size
+        self.n_conv_units = self.n_units
+        self.fc_vector_size = self.unit_vector_size
+        self.n_fc_units = self.n_units
+        self._per_device_bits = holylight_microdisk_resolution().resolution_bits
+
+    # ------------------------------------------------------------------ #
+    # Device inventory
+    # ------------------------------------------------------------------ #
+    @property
+    def disks_per_weight(self) -> int:
+        """Microdisks ganged to reach the target resolution (8 for 16 bits)."""
+        return self.microdisk.devices_for_resolution(self.target_resolution_bits)
+
+    @property
+    def disks_per_unit(self) -> int:
+        """Microdisks in one dot-product unit (weights + activation imprint)."""
+        return 2 * self.unit_vector_size * self.disks_per_weight
+
+    @property
+    def total_disks(self) -> int:
+        """Microdisks in the whole accelerator."""
+        return self.n_units * self.disks_per_unit
+
+    # ------------------------------------------------------------------ #
+    # Optics
+    # ------------------------------------------------------------------ #
+    def unit_path_loss_db(self) -> float:
+        """Worst-case optical loss through one unit's microdisk chain.
+
+        Every weight's gang of disks sits on the signal path, so the ganging
+        factor multiplies the per-disk loss -- this is the key optical
+        penalty of reaching 16 bits with 2-bit devices.
+        """
+        splitter = SplitterTree(self.n_units, self.losses.splitter_db)
+        # Each wavelength passes its own weight's ganged disks (modulation)
+        # plus the through-loss of the other weights' disks on the shared bus.
+        own_gang = self.disks_per_weight * self.microdisk.insertion_loss_db
+        others_through = (self.unit_vector_size - 1) * 0.05
+        bus = Waveguide(
+            length_um=self.unit_vector_size * self.disks_per_weight * 10.0,
+            propagation_loss_db_per_cm=self.losses.propagation_db_per_cm,
+        )
+        combiner = Combiner(2, self.losses.combiner_db)
+        return (
+            splitter.insertion_loss_db
+            + own_gang
+            + others_through
+            + bus.insertion_loss_db
+            + combiner.insertion_loss_db
+        )
+
+    def laser_power_w(self, wall_plug_efficiency: float = 0.25) -> float:
+        """Electrical laser power for the whole accelerator (Eq. 7)."""
+        laser = LaserSource(
+            n_wavelengths=min(self.unit_vector_size, 16),
+            wall_plug_efficiency=wall_plug_efficiency,
+        )
+        return laser.electrical_power_watt(self.unit_path_loss_db())
+
+    # ------------------------------------------------------------------ #
+    # Power / area / latency
+    # ------------------------------------------------------------------ #
+    def _stabilization_power_per_disk_w(self) -> float:
+        """Naive thermal stabilization power per microdisk.
+
+        Microdisks need less absolute tuning power than MRs (smaller mode
+        volume), modelled as a 0.4x scaling of the MR thermo-optic figure,
+        but they receive no FPV-optimized design and no TED, so they pay for
+        the conventional design's full drift.
+        """
+        drift_nm = CONVENTIONAL_MR.fpv_drift_nm
+        return 0.4 * TO_TUNING.power_for_shift_w(drift_nm, CONVENTIONAL_MR.fsr_nm)
+
+    def _imprint_power_per_disk_w(self) -> float:
+        """Thermal drive power holding a programmed microdisk value."""
+        return 0.4 * TO_TUNING.power_for_shift_w(0.5, CONVENTIONAL_MR.fsr_nm)
+
+    def power_breakdown(self) -> PowerBreakdown:
+        laser = self.laser_power_w()
+        tuning_static = self.total_disks * self._stabilization_power_per_disk_w()
+        tuning_dynamic = self.total_disks * self._imprint_power_per_disk_w()
+        photodetectors_per_unit = 3
+        tias_per_unit = 2
+        receivers = self.n_units * (
+            photodetectors_per_unit * PHOTODETECTOR.power_w + tias_per_unit * TIA.power_w
+        )
+        dac = dac_channel()
+        adc = adc_channel()
+        converters = self.n_units * (
+            self.unit_vector_size * dac.power_w * 0.5 + adc.power_w
+        )
+        control = 0.1 * (receivers + converters)
+        return PowerBreakdown(
+            laser_w=laser,
+            tuning_static_w=tuning_static,
+            tuning_dynamic_w=tuning_dynamic,
+            receivers_w=receivers,
+            converters_w=converters,
+            control_w=control,
+        )
+
+    def area_mm2(self) -> float:
+        disk_area_um2 = self.microdisk.footprint_um2 + 100.0  # disk + tuner/contact
+        pd_tia_um2 = 3 * 900.0 + 2 * 2500.0
+        per_unit_um2 = self.disks_per_unit * disk_area_um2 + pd_tia_um2 + 5_000.0
+        return self.n_units * per_unit_um2 * 1e-6
+
+    def cycle_time_s(self) -> float:
+        adc = adc_channel()
+        chain = (
+            PHOTODETECTOR.latency_s + TIA.latency_s + adc.conversion_latency_s
+        )
+        return self.update_latency_s + chain

@@ -1,0 +1,38 @@
+"""Inter-channel crosstalk and resolution analysis (paper Eqs. 8-10).
+
+* :mod:`repro.crosstalk.interchannel` -- the Lorentzian crosstalk factor
+  phi(i, j), the crosstalk matrix of a WDM channel grid, and the resulting
+  per-channel noise power.
+* :mod:`repro.crosstalk.resolution` -- crosstalk-limited weight resolution of
+  CrossLight, DEAP-CNN, and HolyLight weight banks.
+"""
+
+from repro.crosstalk.interchannel import (
+    channel_wavelengths_nm,
+    crosstalk_matrix,
+    lorentzian_crosstalk,
+    noise_power,
+    worst_case_noise,
+)
+from repro.crosstalk.resolution import (
+    ResolutionReport,
+    analyze_bank_resolution,
+    crosslight_bank_resolution,
+    deap_cnn_bank_resolution,
+    holylight_microdisk_resolution,
+    resolution_vs_mrs_per_bank,
+)
+
+__all__ = [
+    "ResolutionReport",
+    "analyze_bank_resolution",
+    "channel_wavelengths_nm",
+    "crosslight_bank_resolution",
+    "crosstalk_matrix",
+    "deap_cnn_bank_resolution",
+    "holylight_microdisk_resolution",
+    "lorentzian_crosstalk",
+    "noise_power",
+    "resolution_vs_mrs_per_bank",
+    "worst_case_noise",
+]

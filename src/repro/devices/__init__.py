@@ -1,0 +1,98 @@
+"""Silicon photonic and optoelectronic device models.
+
+This subpackage implements the device layer of the CrossLight stack:
+
+* :mod:`repro.devices.constants` -- Table II device parameters, loss budget,
+  MR design points, and physical constants.
+* :mod:`repro.devices.mr` -- the microring resonator model (Lorentzian
+  weighting, tuning, drift sensitivity).
+* :mod:`repro.devices.mr_bank` -- banks of MRs imprinting weight vectors.
+* :mod:`repro.devices.waveguide` -- waveguides, splitter trees, combiners.
+* :mod:`repro.devices.laser` -- laser sources and the Eq. 7 power model.
+* :mod:`repro.devices.photodetector` -- PDs, balanced PDs, TIAs, receivers.
+* :mod:`repro.devices.modulator` -- MZM activation modulators and VCSELs.
+* :mod:`repro.devices.microdisk` -- microdisks (HolyLight baseline substrate).
+* :mod:`repro.devices.transceiver` -- ADC/DAC converter arrays.
+"""
+
+from repro.devices.constants import (
+    CONVENTIONAL_MR,
+    DEFAULT_LOSSES,
+    DEFAULT_TRANSCEIVER,
+    EO_TUNING,
+    LASER_WALL_PLUG_EFFICIENCY,
+    OPTIMIZED_MR,
+    PD_SENSITIVITY_DBM,
+    PHOTODETECTOR,
+    ROOM_TEMPERATURE_K,
+    TIA,
+    TO_TUNING,
+    VCSEL,
+    ActiveDeviceParameters,
+    MRDesignParameters,
+    PhotonicLosses,
+    TransceiverParameters,
+    TuningParameters,
+)
+from repro.devices.laser import (
+    LaserSource,
+    required_laser_power_dbm,
+    required_laser_power_watt,
+)
+from repro.devices.microdisk import Microdisk
+from repro.devices.modulator import MachZehnderModulator, VCSELEmitter
+from repro.devices.mr import MicroringResonator
+from repro.devices.mr_bank import MRBank
+from repro.devices.photodetector import (
+    BalancedPhotodetector,
+    Photodetector,
+    ReceiverChain,
+    TransimpedanceAmplifier,
+)
+from repro.devices.transceiver import (
+    ConverterArray,
+    DataConverter,
+    adc_channel,
+    dac_channel,
+)
+from repro.devices.waveguide import Combiner, SplitterTree, Waveguide, waveguide_for_mr_chain
+
+__all__ = [
+    "ActiveDeviceParameters",
+    "BalancedPhotodetector",
+    "Combiner",
+    "CONVENTIONAL_MR",
+    "ConverterArray",
+    "DataConverter",
+    "DEFAULT_LOSSES",
+    "DEFAULT_TRANSCEIVER",
+    "EO_TUNING",
+    "LASER_WALL_PLUG_EFFICIENCY",
+    "LaserSource",
+    "MachZehnderModulator",
+    "Microdisk",
+    "MicroringResonator",
+    "MRBank",
+    "MRDesignParameters",
+    "OPTIMIZED_MR",
+    "PD_SENSITIVITY_DBM",
+    "PHOTODETECTOR",
+    "Photodetector",
+    "PhotonicLosses",
+    "ReceiverChain",
+    "ROOM_TEMPERATURE_K",
+    "SplitterTree",
+    "TIA",
+    "TO_TUNING",
+    "TransceiverParameters",
+    "TransimpedanceAmplifier",
+    "TuningParameters",
+    "VCSEL",
+    "VCSELEmitter",
+    "Waveguide",
+    "adc_channel",
+    "dac_channel",
+    "required_laser_power_dbm",
+    "required_laser_power_watt",
+    "waveguide_for_mr_chain",
+]

@@ -1,0 +1,118 @@
+"""Optical modulators: Mach-Zehnder modulators and VCSEL re-emitters.
+
+Two kinds of electrical-to-optical conversion appear in CrossLight:
+
+* **MZM / MR modulators** imprint activation values onto the laser
+  wavelengths at the input of a VDP unit (paper Fig. 1).  The modulation loss
+  (0.72 dB in the paper's budget [30]) and the modulator's analog resolution
+  are what matter architecturally.
+* **VCSELs** re-emit electrically buffered partial sums back into the optical
+  domain so they can be accumulated by a second photodetector (paper Section
+  IV.C.3, Fig. 3 bottom-right).  Their 10 ns latency and 0.66 mW drive power
+  (Table II) enter the per-operation latency and power budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.constants import (
+    DEFAULT_LOSSES,
+    VCSEL,
+    ActiveDeviceParameters,
+)
+from repro.utils.validation import check_in_range, check_non_negative
+
+
+@dataclass(frozen=True)
+class MachZehnderModulator:
+    """Intensity modulator imprinting an activation value onto a wavelength.
+
+    Parameters
+    ----------
+    insertion_loss_db:
+        Excess optical loss of the modulator (paper budget: 0.72 dB
+        modulation loss).
+    extinction_ratio_db:
+        Ratio between the "on" and "off" transmission states; bounds the
+        smallest representable activation.
+    max_rate_gbps:
+        Maximum modulation rate; CrossLight drives modulators from the
+        56 Gb/s transceivers of [37].
+    """
+
+    insertion_loss_db: float = DEFAULT_LOSSES.mr_modulation_db
+    extinction_ratio_db: float = 20.0
+    max_rate_gbps: float = 56.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("insertion_loss_db", self.insertion_loss_db)
+        check_non_negative("extinction_ratio_db", self.extinction_ratio_db)
+
+    @property
+    def min_transmission(self) -> float:
+        """Smallest achievable relative transmission (extinction floor)."""
+        return 10.0 ** (-self.extinction_ratio_db / 10.0)
+
+    @property
+    def static_loss_linear(self) -> float:
+        """Linear transmission factor of the insertion loss alone."""
+        return 10.0 ** (-self.insertion_loss_db / 10.0)
+
+    def modulate(self, input_power_w: float, activation: float) -> float:
+        """Optical power after imprinting ``activation`` in [0, 1].
+
+        The realised value is clamped to the extinction floor and scaled by
+        the static insertion loss, mirroring how a real MZM cannot produce a
+        perfect optical zero.
+        """
+        check_non_negative("input_power_w", input_power_w)
+        activation = check_in_range("activation", activation, 0.0, 1.0)
+        effective = max(activation, self.min_transmission)
+        return float(input_power_w) * effective * self.static_loss_linear
+
+    def modulate_vector(self, input_power_w: float, activations) -> np.ndarray:
+        """Vectorised :meth:`modulate` over an array of activations."""
+        check_non_negative("input_power_w", input_power_w)
+        acts = np.clip(np.asarray(activations, dtype=float), 0.0, 1.0)
+        effective = np.maximum(acts, self.min_transmission)
+        return float(input_power_w) * effective * self.static_loss_linear
+
+
+@dataclass(frozen=True)
+class VCSELEmitter:
+    """VCSEL re-emitting an electrical partial sum into the optical domain.
+
+    Used in CrossLight's wavelength-reuse scheme: each arm's balanced
+    photodetector produces a partial sum, which a VCSEL re-emits on its own
+    wavelength so that a final photodetector can accumulate the partial sums
+    of all arms optically.
+    """
+
+    parameters: ActiveDeviceParameters = field(default_factory=lambda: VCSEL)
+    wall_plug_efficiency: float = 0.3
+
+    def __post_init__(self) -> None:
+        check_in_range("wall_plug_efficiency", self.wall_plug_efficiency, 1e-3, 1.0)
+
+    @property
+    def latency_s(self) -> float:
+        """Turn-on/settling latency of the VCSEL."""
+        return self.parameters.latency_s
+
+    @property
+    def power_w(self) -> float:
+        """Electrical drive power of the VCSEL."""
+        return self.parameters.power_w
+
+    @property
+    def optical_output_power_w(self) -> float:
+        """Optical power emitted at the nominal drive point."""
+        return self.power_w * self.wall_plug_efficiency
+
+    def emit(self, normalized_value: float) -> float:
+        """Optical power encoding a normalised partial sum in [0, 1]."""
+        value = check_in_range("normalized_value", normalized_value, 0.0, 1.0)
+        return self.optical_output_power_w * value

@@ -1,0 +1,169 @@
+"""MR weight bank: a chain of microrings imprinting a weight vector.
+
+An MR bank (paper Fig. 1, dotted box) is a group of tunable microrings on a
+shared bus waveguide, each in resonance with one WDM wavelength.  Tuning each
+ring sets how much power it drains from its wavelength, so the bank as a whole
+imprints an element-wise product between the incoming activation-modulated
+wavelengths and the weight vector.
+
+The bank model ties together several lower-level pieces:
+
+* per-ring Lorentzian weighting (:class:`repro.devices.mr.MicroringResonator`);
+* the bus waveguide whose length -- and hence propagation loss -- depends on
+  the ring pitch allowed by the thermal-crosstalk mitigation strategy;
+* the bank-level insertion loss (through losses of all off-resonance rings
+  plus the modulation loss of the resonant ring) that feeds the laser power
+  model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.constants import DEFAULT_LOSSES, PhotonicLosses
+from repro.devices.mr import MicroringResonator
+from repro.devices.waveguide import waveguide_for_mr_chain
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass
+class MRBank:
+    """A bank of ``n_mrs`` microrings sharing a bus waveguide.
+
+    Parameters
+    ----------
+    n_mrs:
+        Number of rings in the bank; CrossLight caps this at 15 per bank to
+        keep inter-channel crosstalk low enough for 16-bit resolution.
+    mr_pitch_um:
+        Centre-to-centre spacing between adjacent rings.  5 um with TED-based
+        thermal-crosstalk cancellation, 120-200 um without.
+    mr_template:
+        Prototype ring replicated across the bank (design point, Q, ER).
+    losses:
+        Photonic loss budget used for the bus waveguide and per-ring losses.
+    """
+
+    n_mrs: int
+    mr_pitch_um: float = 5.0
+    mr_template: MicroringResonator = field(default_factory=MicroringResonator.optimized)
+    losses: PhotonicLosses = field(default_factory=lambda: DEFAULT_LOSSES)
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_mrs", self.n_mrs)
+        check_positive("mr_pitch_um", self.mr_pitch_um)
+        self._rings = [
+            MicroringResonator(
+                design=self.mr_template.design,
+                extinction_ratio_db=self.mr_template.extinction_ratio_db,
+            )
+            for _ in range(self.n_mrs)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    @property
+    def rings(self) -> list[MicroringResonator]:
+        """The individual rings of the bank (index i weights wavelength i)."""
+        return self._rings
+
+    @property
+    def bus_waveguide(self):
+        """Bus waveguide hosting the rings at the configured pitch."""
+        return waveguide_for_mr_chain(self.n_mrs, self.mr_pitch_um, self.losses)
+
+    @property
+    def bank_length_um(self) -> float:
+        """Physical length of the bank along the bus waveguide."""
+        return self.bus_waveguide.length_um
+
+    @property
+    def footprint_um2(self) -> float:
+        """Approximate layout footprint of the bank (rings + bus)."""
+        ring_area = sum(ring.footprint_um2 for ring in self._rings)
+        bus_area = self.bank_length_um * 1.0  # 1 um-wide bus strip
+        return ring_area + bus_area
+
+    # ------------------------------------------------------------------ #
+    # Loss accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def insertion_loss_db(self) -> float:
+        """Static insertion loss seen by a wavelength traversing the bank.
+
+        Each wavelength passes ``n_mrs - 1`` off-resonance rings (through
+        loss each) and is weighted by exactly one resonant ring (modulation
+        loss), plus the propagation loss of the bus waveguide.
+        """
+        through = max(self.n_mrs - 1, 0) * self.losses.mr_through_db
+        modulation = self.losses.mr_modulation_db
+        propagation = self.bus_waveguide.insertion_loss_db
+        return through + modulation + propagation
+
+    # ------------------------------------------------------------------ #
+    # Functional behaviour
+    # ------------------------------------------------------------------ #
+    def imprint_weights(self, weights) -> np.ndarray:
+        """Tune the rings to represent ``weights`` and return the detunings.
+
+        Parameters
+        ----------
+        weights:
+            Array of weight magnitudes in [0, 1]; its length must not exceed
+            the number of rings.
+
+        Returns
+        -------
+        numpy.ndarray
+            The detuning (nm) applied to each ring.
+        """
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 1:
+            raise ValueError("weights must be a 1-D array")
+        if weights.size > self.n_mrs:
+            raise ValueError(
+                f"bank has {self.n_mrs} rings but got {weights.size} weights"
+            )
+        if np.any(weights < 0) or np.any(weights > 1):
+            raise ValueError("weight magnitudes must lie in [0, 1]")
+        detunings = np.array(
+            [
+                self._rings[i].detuning_for_transmission(float(w))
+                for i, w in enumerate(weights)
+            ]
+        )
+        return detunings
+
+    def apply_weights(self, input_powers_w, weights) -> np.ndarray:
+        """Element-wise product of optical input powers with weights.
+
+        Models the bank's ideal multiplication behaviour: wavelength ``i``
+        carrying power ``p_i`` leaves the bank with ``p_i * w_i`` (before the
+        separately-accounted insertion losses).  The per-ring extinction
+        floor is respected, so a weight of exactly zero cannot be realised
+        perfectly.
+        """
+        powers = np.asarray(input_powers_w, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        if powers.shape != weights.shape:
+            raise ValueError("input powers and weights must have the same shape")
+        if np.any(powers < 0):
+            raise ValueError("optical powers cannot be negative")
+        floor = self._rings[0].min_transmission
+        effective = np.clip(weights, floor, 1.0)
+        return powers * effective
+
+    def weight_error_from_drift(self, weights, residual_drift_nm: float) -> np.ndarray:
+        """Per-element weight error caused by uncompensated resonance drift."""
+        weights = np.asarray(weights, dtype=float)
+        return np.array(
+            [
+                self._rings[i % self.n_mrs].transmission_error_from_drift(
+                    float(w), residual_drift_nm
+                )
+                for i, w in enumerate(weights)
+            ]
+        )

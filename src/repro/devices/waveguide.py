@@ -1,0 +1,151 @@
+"""Passive waveguide elements: straight waveguides, splitters, combiners.
+
+The CrossLight loss budget (paper Section V.A) is dominated by passive
+elements: 1 dB/cm propagation loss, 0.13 dB per Y-splitter stage, and 0.9 dB
+per combiner.  These classes compute the insertion loss contributed by each
+element so that :mod:`repro.arch.loss_budget` can sum a whole VDP unit's
+optical path and feed the laser power model (Eq. 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.devices.constants import DEFAULT_LOSSES, PhotonicLosses
+from repro.utils.validation import check_non_negative, check_positive_int
+
+
+@dataclass(frozen=True)
+class Waveguide:
+    """A straight silicon waveguide segment.
+
+    Parameters
+    ----------
+    length_um:
+        Physical length of the segment in micrometres.
+    propagation_loss_db_per_cm:
+        Propagation loss coefficient; the paper uses 1 dB/cm [6].
+    """
+
+    length_um: float
+    propagation_loss_db_per_cm: float = DEFAULT_LOSSES.propagation_db_per_cm
+
+    def __post_init__(self) -> None:
+        check_non_negative("length_um", self.length_um)
+        check_non_negative(
+            "propagation_loss_db_per_cm", self.propagation_loss_db_per_cm
+        )
+
+    @property
+    def length_cm(self) -> float:
+        """Segment length in centimetres."""
+        return self.length_um * 1e-4
+
+    @property
+    def insertion_loss_db(self) -> float:
+        """Total propagation loss across the segment, in dB."""
+        return self.length_cm * self.propagation_loss_db_per_cm
+
+
+@dataclass(frozen=True)
+class SplitterTree:
+    """A binary tree of 1x2 optical splitters fanning one input to ``fanout``.
+
+    Splitting an optical signal to N parallel VDP arms costs both the ideal
+    1/N power division and an excess loss per splitter stage (0.13 dB in the
+    paper's budget [27]).  Both contributions matter: the ideal division is
+    what limits how many arms a single laser can feed, and the excess loss
+    grows with ``log2(fanout)``.
+    """
+
+    fanout: int
+    excess_loss_db_per_stage: float = DEFAULT_LOSSES.splitter_db
+
+    def __post_init__(self) -> None:
+        check_positive_int("fanout", self.fanout)
+        check_non_negative("excess_loss_db_per_stage", self.excess_loss_db_per_stage)
+
+    @property
+    def stages(self) -> int:
+        """Number of cascaded 1x2 splitter stages needed for the fanout."""
+        if self.fanout == 1:
+            return 0
+        return math.ceil(math.log2(self.fanout))
+
+    @property
+    def excess_loss_db(self) -> float:
+        """Total excess (non-ideal) loss through the tree, in dB."""
+        return self.stages * self.excess_loss_db_per_stage
+
+    @property
+    def splitting_loss_db(self) -> float:
+        """Ideal power-division loss, ``10 log10(fanout)`` dB."""
+        if self.fanout == 1:
+            return 0.0
+        return 10.0 * math.log10(self.fanout)
+
+    @property
+    def insertion_loss_db(self) -> float:
+        """Total loss per output branch: ideal division plus excess loss."""
+        return self.splitting_loss_db + self.excess_loss_db
+
+
+@dataclass(frozen=True)
+class Combiner:
+    """An optical combiner merging ``fanin`` waveguides into one.
+
+    Used at the output of a VDP unit to multiplex the partial-sum VCSEL
+    outputs into a single waveguide before the accumulating photodetector.
+    The paper budgets 0.9 dB per combiner [28].
+    """
+
+    fanin: int
+    loss_db_per_stage: float = DEFAULT_LOSSES.combiner_db
+
+    def __post_init__(self) -> None:
+        check_positive_int("fanin", self.fanin)
+        check_non_negative("loss_db_per_stage", self.loss_db_per_stage)
+
+    @property
+    def stages(self) -> int:
+        """Number of cascaded 2x1 combiner stages."""
+        if self.fanin == 1:
+            return 0
+        return math.ceil(math.log2(self.fanin))
+
+    @property
+    def insertion_loss_db(self) -> float:
+        """Total combiner insertion loss, in dB."""
+        return self.stages * self.loss_db_per_stage
+
+
+def waveguide_for_mr_chain(
+    n_mrs: int,
+    mr_pitch_um: float,
+    losses: PhotonicLosses = DEFAULT_LOSSES,
+) -> Waveguide:
+    """Waveguide hosting a chain of ``n_mrs`` microrings at a given pitch.
+
+    The bus waveguide of an MR bank must be long enough for all rings plus
+    the inter-ring spacing demanded by thermal-crosstalk constraints.  This
+    helper is where the architecture-level benefit of the TED tuning scheme
+    shows up: with TED the pitch can drop from 120-200 um to 5 um, shrinking
+    the bus and its propagation loss by more than an order of magnitude.
+
+    Parameters
+    ----------
+    n_mrs:
+        Number of microrings along the bus.
+    mr_pitch_um:
+        Centre-to-centre spacing between adjacent rings, in micrometres.
+    losses:
+        Loss budget providing the propagation-loss coefficient.
+    """
+    check_positive_int("n_mrs", n_mrs)
+    check_non_negative("mr_pitch_um", mr_pitch_um)
+    length_um = max(n_mrs - 1, 0) * mr_pitch_um + n_mrs * 2.0 * 10.0
+    return Waveguide(
+        length_um=length_um,
+        propagation_loss_db_per_cm=losses.propagation_db_per_cm,
+    )

@@ -1,0 +1,50 @@
+"""Experiment drivers, one per table/figure of the paper's evaluation.
+
+========================  =========================================================
+Module                    Paper artefact
+========================  =========================================================
+``table1_models``         Table I -- evaluation DNN models and datasets
+``table2_devices``        Table II -- optoelectronic device parameters
+``fig4_thermal``          Fig. 4 -- phase crosstalk and tuning power vs MR spacing
+``fig5_resolution_accuracy``  Fig. 5 -- accuracy vs weight/activation resolution
+``fig6_design_space``     Fig. 6 -- FPS vs EPB vs area design-space exploration
+``fig7_power``            Fig. 7 -- power consumption comparison
+``fig8_epb``              Fig. 8 -- energy-per-bit per model, photonic accelerators
+``table3_summary``        Table III -- average EPB and kFPS/W of all platforms
+``device_dse``            Section IV.A -- MR waveguide-width design exploration
+``resolution_analysis``   Section V.B -- crosstalk-limited resolution analysis
+``ablation``              ablations: wavelength reuse, bank size, tuning latency,
+                          accuracy vs residual drift
+========================  =========================================================
+
+Every module exposes ``run()`` returning structured result objects (used by
+the tests and benchmarks) and ``main()`` returning a printable text report.
+"""
+
+from repro.experiments import (
+    ablation,
+    device_dse,
+    fig4_thermal,
+    fig5_resolution_accuracy,
+    fig6_design_space,
+    fig7_power,
+    fig8_epb,
+    resolution_analysis,
+    table1_models,
+    table2_devices,
+    table3_summary,
+)
+
+__all__ = [
+    "ablation",
+    "device_dse",
+    "fig4_thermal",
+    "fig5_resolution_accuracy",
+    "fig6_design_space",
+    "fig7_power",
+    "fig8_epb",
+    "resolution_analysis",
+    "table1_models",
+    "table2_devices",
+    "table3_summary",
+]

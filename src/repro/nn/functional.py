@@ -1,0 +1,167 @@
+"""Low-level numerical primitives for the pure-NumPy DNN substrate.
+
+The paper trains its evaluation models with TensorFlow/QKeras; that stack is
+unavailable offline, so this subpackage implements the needed DNN machinery
+from scratch on NumPy.  This module holds the stateless numerical kernels:
+
+* im2col / col2im transformations that turn convolution into matrix
+  multiplication (the same lowering CrossLight itself performs when it maps
+  CONV layers onto vector-dot-product units -- see paper Section IV.C.1);
+* activation functions and their derivatives;
+* softmax / log-softmax with the usual numerical-stability shifts.
+
+All kernels use NCHW layout: ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+# --------------------------------------------------------------------------- #
+# Convolution lowering
+# --------------------------------------------------------------------------- #
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    if size + 2 * padding < kernel:
+        raise ValueError(
+            f"input size {size} with padding {padding} is smaller than kernel {kernel}"
+        )
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    images: np.ndarray, kernel_h: int, kernel_w: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold image patches into columns.
+
+    Parameters
+    ----------
+    images:
+        Input tensor of shape ``(N, C, H, W)``.
+    kernel_h, kernel_w:
+        Kernel height and width.
+    stride:
+        Stride of the sliding window.
+    padding:
+        Zero padding applied symmetrically to both spatial dimensions.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``: one
+        row per output position, one column per kernel tap.  A convolution is
+        then a single matrix product against the reshaped kernel bank, which
+        is exactly the dot-product decomposition the photonic VDP units
+        execute.
+    """
+    if images.ndim != 4:
+        raise ValueError(f"expected NCHW input, got shape {images.shape}")
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=images.dtype)
+    for y in range(kernel_h):
+        y_max = y + stride * out_h
+        for x in range(kernel_w):
+            x_max = x + stride * out_w
+            cols[:, :, y, x, :, :] = padded[:, :, y:y_max:stride, x:x_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Fold columns back into an image tensor (adjoint of :func:`im2col`).
+
+    Overlapping patch positions accumulate, which is what makes this the
+    correct gradient operation for the convolution backward pass.
+    """
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+
+    cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for y in range(kernel_h):
+        y_max = y + stride * out_h
+        for x in range(kernel_w):
+            x_max = x + stride * out_w
+            padded[:, :, y:y_max:stride, x:x_max:stride] += cols[:, :, y, x, :, :]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+# --------------------------------------------------------------------------- #
+# Activations
+# --------------------------------------------------------------------------- #
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU with respect to its input."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=float)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def sigmoid_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of the sigmoid with respect to its input."""
+    s = sigmoid(x)
+    return s * (1.0 - s)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent activation."""
+    return np.tanh(x)
+
+
+def tanh_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of tanh with respect to its input."""
+    t = np.tanh(x)
+    return 1.0 - t * t
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer class labels."""
+    labels = np.asarray(labels, dtype=int)
+    if labels.ndim != 1:
+        raise ValueError("labels must be a 1-D array of class indices")
+    if np.any(labels < 0) or np.any(labels >= num_classes):
+        raise ValueError("labels must lie in [0, num_classes)")
+    encoded = np.zeros((labels.size, num_classes), dtype=float)
+    encoded[np.arange(labels.size), labels] = 1.0
+    return encoded

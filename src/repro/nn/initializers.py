@@ -1,0 +1,45 @@
+"""Weight initializers for the pure-NumPy DNN substrate.
+
+Small, deterministic (seedable) initializers sufficient for training the
+Table-I evaluation models from scratch: Glorot/Xavier and He schemes for
+dense and convolutional kernels, and zeros for biases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization.
+
+    Fan-in and fan-out are computed from the first two dimensions for dense
+    kernels, and include the receptive-field size for convolution kernels of
+    shape ``(out_channels, in_channels, kh, kw)``.
+    """
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) normal initialization, appropriate for ReLU networks."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zeros initializer (biases)."""
+    return np.zeros(shape, dtype=float)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[float, float]:
+    """Fan-in / fan-out of a kernel shape."""
+    if len(shape) == 2:  # dense: (in, out)
+        return float(shape[0]), float(shape[1])
+    if len(shape) == 4:  # conv: (out_c, in_c, kh, kw)
+        receptive = shape[2] * shape[3]
+        return float(shape[1] * receptive), float(shape[0] * receptive)
+    size = float(np.prod(shape))
+    return size, size

@@ -1,0 +1,565 @@
+"""Neural-network layers for the pure-NumPy DNN substrate.
+
+Implements the layer types used by the paper's four evaluation models
+(Table I): 2-D convolution, dense (fully connected), max/average pooling,
+flatten, ReLU / sigmoid / tanh activations, batch normalization, and dropout.
+Every layer provides ``forward`` and ``backward`` passes so models can be
+trained from scratch, plus a ``parameters()`` view used by the optimizers and
+the quantization machinery.
+
+The convolution and dense layers are also the layers CrossLight accelerates
+optically; the performance simulator (:mod:`repro.sim`) walks a trained
+model's layers and maps exactly these two types onto the photonic VDP units,
+which is why each of them exposes its multiply-accumulate (MAC) count and dot
+product structure via :meth:`Layer.workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.initializers import glorot_uniform, he_normal, zeros
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """Dot-product workload of one layer, consumed by the accelerator mapper.
+
+    Attributes
+    ----------
+    kind:
+        ``"conv"``, ``"fc"``, or ``"other"`` (layers executed electronically).
+    dot_product_length:
+        Length of each vector dot product the layer performs (e.g. ``C*k*k``
+        for a convolution, ``fan_in`` for a dense layer).
+    n_dot_products:
+        How many such dot products one inference of the layer requires.
+    macs:
+        Total multiply-accumulate operations (= length x count).
+    """
+
+    kind: str
+    dot_product_length: int
+    n_dot_products: int
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate count of the layer."""
+        return self.dot_product_length * self.n_dot_products
+
+
+class Layer:
+    """Base class for all layers.
+
+    Sub-classes implement :meth:`forward` and :meth:`backward`; stateful
+    layers additionally expose their parameters and gradients through
+    :meth:`parameters` and :meth:`gradients` as dictionaries keyed by
+    parameter name.
+    """
+
+    #: Human-readable layer-type name used in model summaries.
+    kind = "layer"
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute the layer output for ``inputs``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` and return the input gradient."""
+        raise NotImplementedError
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        """Trainable parameters of the layer (empty for stateless layers)."""
+        return {}
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        """Gradients matching :meth:`parameters` (same keys)."""
+        return {}
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape of the output given an input shape (excluding batch)."""
+        raise NotImplementedError
+
+    def workload(self, input_shape: tuple[int, ...]) -> LayerWorkload:
+        """Dot-product workload for one sample with the given input shape."""
+        return LayerWorkload(kind="other", dot_product_length=0, n_dot_products=0)
+
+    def train(self) -> None:
+        """Put the layer in training mode (affects dropout / batch norm)."""
+        self.training = True
+
+    def eval(self) -> None:
+        """Put the layer in inference mode."""
+        self.training = False
+
+    @property
+    def n_parameters(self) -> int:
+        """Total number of trainable scalars in the layer."""
+        return int(sum(p.size for p in self.parameters().values()))
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    use_bias:
+        Whether to add a bias vector.
+    rng:
+        Random generator for weight initialization (seeded for
+        reproducibility of the accuracy experiments).
+    """
+
+    kind = "fc"
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        use_bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        check_positive_int("in_features", in_features)
+        check_positive_int("out_features", out_features)
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.use_bias = use_bias
+        self.weight = glorot_uniform((in_features, out_features), rng)
+        self.bias = zeros((out_features,)) if use_bias else None
+        self._grad_weight = np.zeros_like(self.weight)
+        self._grad_bias = np.zeros_like(self.bias) if use_bias else None
+        self._last_input: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 2 or inputs.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expected input of shape (N, {self.in_features}), got {inputs.shape}"
+            )
+        self._last_input = inputs
+        output = inputs @ self.weight
+        if self.use_bias:
+            output = output + self.bias
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_input is None:
+            raise RuntimeError("backward called before forward")
+        self._grad_weight = self._last_input.T @ grad_output
+        if self.use_bias:
+            self._grad_bias = grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        params = {"weight": self.weight}
+        if self.use_bias:
+            params["bias"] = self.bias
+        return params
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        grads = {"weight": self._grad_weight}
+        if self.use_bias:
+            grads["bias"] = self._grad_bias
+        return grads
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (self.out_features,)
+
+    def workload(self, input_shape: tuple[int, ...]) -> LayerWorkload:
+        return LayerWorkload(
+            kind="fc",
+            dot_product_length=self.in_features,
+            n_dot_products=self.out_features,
+        )
+
+
+class Conv2D(Layer):
+    """2-D convolution layer in NCHW layout, lowered to im2col matrix products.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Number of input and output feature maps.
+    kernel_size:
+        Side length of the (square) kernel; the paper's models use 2x2 to
+        5x5 kernels, which is also the range CrossLight's CONV VDP units are
+        sized for.
+    stride, padding:
+        Convolution stride and symmetric zero padding.
+    """
+
+    kind = "conv"
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        use_bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        check_positive_int("in_channels", in_channels)
+        check_positive_int("out_channels", out_channels)
+        check_positive_int("kernel_size", kernel_size)
+        check_positive_int("stride", stride)
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.use_bias = use_bias
+        self.weight = he_normal(
+            (out_channels, in_channels, kernel_size, kernel_size), rng
+        )
+        self.bias = zeros((out_channels,)) if use_bias else None
+        self._grad_weight = np.zeros_like(self.weight)
+        self._grad_bias = np.zeros_like(self.bias) if use_bias else None
+        self._cache: tuple | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expected input (N, {self.in_channels}, H, W), got {inputs.shape}"
+            )
+        n, _, h, w = inputs.shape
+        out_h = F.conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        out_w = F.conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        cols = F.im2col(inputs, self.kernel_size, self.kernel_size, self.stride, self.padding)
+        kernel_matrix = self.weight.reshape(self.out_channels, -1).T
+        output = cols @ kernel_matrix
+        if self.use_bias:
+            output = output + self.bias
+        output = output.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        self._cache = (inputs.shape, cols)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, cols = self._cache
+        n, _, out_h, out_w = grad_output.shape
+        grad_matrix = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        self._grad_weight = (
+            (cols.T @ grad_matrix).T.reshape(self.weight.shape)
+        )
+        if self.use_bias:
+            self._grad_bias = grad_matrix.sum(axis=0)
+        kernel_matrix = self.weight.reshape(self.out_channels, -1)
+        grad_cols = grad_matrix @ kernel_matrix
+        return F.col2im(
+            grad_cols,
+            input_shape,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        params = {"weight": self.weight}
+        if self.use_bias:
+            params["bias"] = self.bias
+        return params
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        grads = {"weight": self._grad_weight}
+        if self.use_bias:
+            grads["bias"] = self._grad_bias
+        return grads
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        out_h = F.conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        out_w = F.conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return (self.out_channels, out_h, out_w)
+
+    def workload(self, input_shape: tuple[int, ...]) -> LayerWorkload:
+        _, out_h, out_w = self.output_shape(input_shape)
+        return LayerWorkload(
+            kind="conv",
+            dot_product_length=self.in_channels * self.kernel_size * self.kernel_size,
+            n_dot_products=self.out_channels * out_h * out_w,
+        )
+
+
+class _Pool2D(Layer):
+    """Shared machinery for max and average pooling."""
+
+    def __init__(self, pool_size: int = 2, stride: int | None = None) -> None:
+        super().__init__()
+        check_positive_int("pool_size", pool_size)
+        self.pool_size = pool_size
+        self.stride = stride if stride is not None else pool_size
+        check_positive_int("stride", self.stride)
+        self._cache: tuple | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        out_h = F.conv_output_size(h, self.pool_size, self.stride, 0)
+        out_w = F.conv_output_size(w, self.pool_size, self.stride, 0)
+        return (c, out_h, out_w)
+
+    def _patches(self, inputs: np.ndarray) -> tuple[np.ndarray, int, int]:
+        n, c, h, w = inputs.shape
+        out_h = F.conv_output_size(h, self.pool_size, self.stride, 0)
+        out_w = F.conv_output_size(w, self.pool_size, self.stride, 0)
+        reshaped = inputs.reshape(n * c, 1, h, w)
+        cols = F.im2col(reshaped, self.pool_size, self.pool_size, self.stride, 0)
+        return cols, out_h, out_w
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling over square windows."""
+
+    kind = "pool"
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        n, c, h, w = inputs.shape
+        cols, out_h, out_w = self._patches(inputs)
+        argmax = np.argmax(cols, axis=1)
+        output = cols[np.arange(cols.shape[0]), argmax]
+        self._cache = (inputs.shape, argmax, out_h, out_w)
+        return output.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, argmax, out_h, out_w = self._cache
+        n, c, h, w = input_shape
+        grad_cols = np.zeros((n * c * out_h * out_w, self.pool_size * self.pool_size))
+        grad_cols[np.arange(grad_cols.shape[0]), argmax] = grad_output.reshape(-1)
+        grad_images = F.col2im(
+            grad_cols, (n * c, 1, h, w), self.pool_size, self.pool_size, self.stride, 0
+        )
+        return grad_images.reshape(n, c, h, w)
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling over square windows."""
+
+    kind = "pool"
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        n, c, h, w = inputs.shape
+        cols, out_h, out_w = self._patches(inputs)
+        output = cols.mean(axis=1)
+        self._cache = (inputs.shape, out_h, out_w)
+        return output.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, out_h, out_w = self._cache
+        n, c, h, w = input_shape
+        window = self.pool_size * self.pool_size
+        grad_cols = np.repeat(grad_output.reshape(-1, 1), window, axis=1) / window
+        grad_images = F.col2im(
+            grad_cols, (n * c, 1, h, w), self.pool_size, self.pool_size, self.stride, 0
+        )
+        return grad_images.reshape(n, c, h, w)
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions into one."""
+
+    kind = "reshape"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._input_shape)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    kind = "activation"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_input: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._last_input = inputs
+        return F.relu(inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_input is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * F.relu_grad(self._last_input)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    kind = "activation"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_input: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._last_input = inputs
+        return F.sigmoid(inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_input is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * F.sigmoid_grad(self._last_input)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    kind = "activation"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_input: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._last_input = inputs
+        return F.tanh(inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_input is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * F.tanh_grad(self._last_input)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+
+class Dropout(Layer):
+    """Inverted dropout; a no-op in inference mode."""
+
+    kind = "regularizer"
+
+    def __init__(self, rate: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the feature axis.
+
+    Works for both dense activations ``(N, F)`` (normalising each feature)
+    and convolutional activations ``(N, C, H, W)`` (normalising each
+    channel).  The paper notes batch normalization is executed in the
+    electronic domain, so this layer contributes no photonic workload.
+    """
+
+    kind = "norm"
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        check_positive_int("num_features", num_features)
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = np.ones(num_features)
+        self.beta = np.zeros(num_features)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._grad_gamma = np.zeros_like(self.gamma)
+        self._grad_beta = np.zeros_like(self.beta)
+        self._cache: tuple | None = None
+
+    def _reshape_stats(self, array: np.ndarray, ndim: int) -> np.ndarray:
+        if ndim == 2:
+            return array
+        return array.reshape(1, -1, 1, 1)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        axes = (0,) if inputs.ndim == 2 else (0, 2, 3)
+        if self.training:
+            mean = inputs.mean(axis=axes)
+            var = inputs.var(axis=axes)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        mean_b = self._reshape_stats(mean, inputs.ndim)
+        var_b = self._reshape_stats(var, inputs.ndim)
+        normalized = (inputs - mean_b) / np.sqrt(var_b + self.eps)
+        self._cache = (normalized, var_b, axes, inputs.shape)
+        gamma_b = self._reshape_stats(self.gamma, inputs.ndim)
+        beta_b = self._reshape_stats(self.beta, inputs.ndim)
+        return gamma_b * normalized + beta_b
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, var_b, axes, input_shape = self._cache
+        m = np.prod([input_shape[a] for a in axes])
+        self._grad_gamma = (grad_output * normalized).sum(axis=axes)
+        self._grad_beta = grad_output.sum(axis=axes)
+        gamma_b = self._reshape_stats(self.gamma, grad_output.ndim)
+        grad_norm = grad_output * gamma_b
+        term1 = m * grad_norm
+        term2 = grad_norm.sum(axis=axes, keepdims=True)
+        term3 = normalized * (grad_norm * normalized).sum(axis=axes, keepdims=True)
+        return (term1 - term2 - term3) / (m * np.sqrt(var_b + self.eps))
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        return {"gamma": self._grad_gamma, "beta": self._grad_beta}
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape

@@ -1,0 +1,105 @@
+"""Loss functions for training the evaluation models.
+
+Provides the losses needed by the Table-I model zoo: softmax cross-entropy
+for the three classification CNNs, mean squared error as a general-purpose
+regression loss, and the contrastive loss used to train the Siamese one-shot
+network (model 4).  Every loss returns both the scalar loss value and the
+gradient with respect to the model output, which the
+:class:`repro.nn.model.Sequential` training loop back-propagates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class Loss:
+    """Base class: callable returning ``(loss_value, grad_wrt_predictions)``."""
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross-entropy on integer class labels.
+
+    Combining the two keeps the gradient numerically simple and stable:
+    ``grad = (softmax(logits) - onehot(targets)) / batch``.
+    """
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        if predictions.ndim != 2:
+            raise ValueError("predictions must be (batch, classes) logits")
+        targets = np.asarray(targets, dtype=int)
+        if targets.ndim != 1 or targets.shape[0] != predictions.shape[0]:
+            raise ValueError("targets must be a 1-D array of class indices matching the batch")
+        batch, n_classes = predictions.shape
+        log_probs = F.log_softmax(predictions, axis=1)
+        loss = -float(np.mean(log_probs[np.arange(batch), targets]))
+        grad = F.softmax(predictions, axis=1)
+        grad[np.arange(batch), targets] -= 1.0
+        return loss, grad / batch
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error between predictions and continuous targets."""
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        targets = np.asarray(targets, dtype=float)
+        if predictions.shape != targets.shape:
+            raise ValueError("predictions and targets must have the same shape")
+        diff = predictions - targets
+        loss = float(np.mean(diff**2))
+        grad = 2.0 * diff / diff.size
+        return loss, grad
+
+
+class ContrastiveLoss(Loss):
+    """Contrastive loss for Siamese embedding networks (model 4, Omniglot).
+
+    Given the Euclidean distance ``d`` between the two embeddings of a pair
+    and a label ``y`` (1 = same class, 0 = different class), the loss is
+
+        L = y * d^2 + (1 - y) * max(margin - d, 0)^2
+
+    The loss is evaluated on a *distance vector* produced by the Siamese
+    model wrapper, so predictions here are the per-pair distances.
+    """
+
+    def __init__(self, margin: float = 1.0) -> None:
+        if margin <= 0:
+            raise ValueError("margin must be positive")
+        self.margin = margin
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        distances = np.asarray(predictions, dtype=float).reshape(-1)
+        labels = np.asarray(targets, dtype=float).reshape(-1)
+        if distances.shape != labels.shape:
+            raise ValueError("distances and labels must have matching shapes")
+        hinge = np.maximum(self.margin - distances, 0.0)
+        loss = float(np.mean(labels * distances**2 + (1.0 - labels) * hinge**2))
+        grad = (2.0 * labels * distances - 2.0 * (1.0 - labels) * hinge) / distances.size
+        return loss, grad.reshape(np.asarray(predictions).shape)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy for logits and integer labels."""
+    predictions = np.argmax(logits, axis=1)
+    labels = np.asarray(labels, dtype=int)
+    if predictions.shape != labels.shape:
+        raise ValueError("logits batch size must match labels")
+    return float(np.mean(predictions == labels))
+
+
+def pair_accuracy(distances: np.ndarray, labels: np.ndarray, threshold: float = 0.5) -> float:
+    """Verification accuracy of a Siamese model.
+
+    A pair is predicted "same" when its embedding distance falls below
+    ``threshold``; accuracy is measured against the binary pair labels.
+    """
+    distances = np.asarray(distances, dtype=float).reshape(-1)
+    labels = np.asarray(labels, dtype=int).reshape(-1)
+    predictions = (distances < threshold).astype(int)
+    return float(np.mean(predictions == labels))

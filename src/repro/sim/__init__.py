@@ -1,0 +1,47 @@
+"""Performance/energy simulation of DNN models on photonic accelerators.
+
+* :mod:`repro.sim.tracer` -- extracts per-layer dot-product workloads from
+  :mod:`repro.nn` models.
+* :mod:`repro.sim.simulator` -- runs models through accelerator models and
+  aggregates Table III-style metrics.
+* :mod:`repro.sim.photonic_inference` -- functional inference under photonic
+  quantization and residual-drift weight errors.
+* :mod:`repro.sim.results` -- plain-text table formatting for reports.
+"""
+
+from repro.sim.photonic_inference import (
+    PhotonicInferenceEngine,
+    PhotonicInferenceResult,
+    accuracy_vs_residual_drift,
+)
+from repro.sim.results import format_ratio, format_table
+from repro.sim.simulator import (
+    ComparisonResult,
+    compare_accelerators,
+    default_accelerators,
+    simulate_model,
+    simulate_models,
+)
+from repro.sim.tracer import (
+    WorkloadSummary,
+    accelerated_workloads,
+    summarize,
+    trace_model,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "PhotonicInferenceEngine",
+    "PhotonicInferenceResult",
+    "accuracy_vs_residual_drift",
+    "WorkloadSummary",
+    "accelerated_workloads",
+    "compare_accelerators",
+    "default_accelerators",
+    "format_ratio",
+    "format_table",
+    "simulate_model",
+    "simulate_models",
+    "summarize",
+    "trace_model",
+]

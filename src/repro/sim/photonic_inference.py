@@ -1,0 +1,184 @@
+"""Functional photonic inference: accuracy under device non-idealities.
+
+The performance simulator (:mod:`repro.sim.simulator`) answers "how fast and
+how efficient"; this module answers "how *accurate*": it executes a trained
+model's Conv2D/Dense layers through the same decomposition the VDP units use,
+while injecting the device-level non-idealities the paper's cross-layer
+optimizations exist to suppress:
+
+* **finite resolution** -- weights and activations are quantized to the
+  accelerator's crosstalk-limited bit width;
+* **residual resonance drift** -- any FPV/thermal drift left uncompensated by
+  the tuning circuit perturbs each imprinted weight along the MR's
+  Lorentzian, which is modelled per-weight via
+  :meth:`repro.devices.mr.MicroringResonator.transmission_error_from_drift`.
+
+This closes the loop of the paper's argument: the optimized MR design and the
+TED hybrid tuning keep the residual drift small, which keeps the imprinted
+weights accurate, which keeps inference accuracy at its quantization-limited
+value.  The ablation experiment (:mod:`repro.experiments.ablation`) sweeps
+the residual drift to show exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.mr import MicroringResonator
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.model import Sequential
+from repro.nn.quantization import quantize_array
+from repro.utils.validation import check_non_negative, check_positive_int
+
+
+@dataclass(frozen=True)
+class PhotonicInferenceResult:
+    """Accuracy of a model executed on the (non-ideal) photonic substrate."""
+
+    model: str
+    resolution_bits: int
+    residual_drift_nm: float
+    accuracy: float
+    ideal_accuracy: float
+
+    @property
+    def accuracy_loss(self) -> float:
+        """Accuracy lost relative to ideal (float, noiseless) inference."""
+        return self.ideal_accuracy - self.accuracy
+
+
+class PhotonicInferenceEngine:
+    """Execute a trained model with photonic quantization and weight errors.
+
+    Parameters
+    ----------
+    resolution_bits:
+        Weight/activation resolution of the accelerator (16 for CrossLight,
+        4 for DEAP-CNN, ...).
+    residual_drift_nm:
+        Uncompensated MR resonance drift.  With CrossLight's hybrid tuning
+        this is a small fraction of a nanometre; without FPV compensation it
+        can be the full 2.1 / 7.1 nm design drift.
+    mr:
+        Ring model used to translate drift into per-weight transmission
+        error.
+    seed:
+        Seed for the random sign of each weight's drift-induced error
+        (whether a given ring drifts towards or away from its target).
+    """
+
+    def __init__(
+        self,
+        resolution_bits: int = 16,
+        residual_drift_nm: float = 0.0,
+        mr: MicroringResonator | None = None,
+        seed: int = 0,
+    ) -> None:
+        check_positive_int("resolution_bits", resolution_bits)
+        check_non_negative("residual_drift_nm", residual_drift_nm)
+        self.resolution_bits = resolution_bits
+        self.residual_drift_nm = residual_drift_nm
+        self.mr = mr or MicroringResonator.optimized()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Weight perturbation
+    # ------------------------------------------------------------------ #
+    def perturbed_weights(self, weights: np.ndarray) -> np.ndarray:
+        """Quantize ``weights`` and add the drift-induced imprint error.
+
+        Weight magnitudes are normalised to the tensor's dynamic range (as a
+        DAC would program them), quantized, and each element receives an
+        error whose magnitude follows the Lorentzian sensitivity of its ring
+        at the configured residual drift and whose sign is random per ring.
+        """
+        quantized = quantize_array(weights, self.resolution_bits)
+        if self.residual_drift_nm <= 0.0:
+            return quantized
+        max_abs = float(np.max(np.abs(quantized)))
+        if max_abs == 0.0:
+            return quantized
+        normalised = np.abs(quantized) / max_abs
+        flat = normalised.reshape(-1)
+        errors = np.array(
+            [
+                self.mr.transmission_error_from_drift(float(v), self.residual_drift_nm)
+                for v in flat
+            ]
+        ).reshape(normalised.shape)
+        signs = self._rng.choice([-1.0, 1.0], size=errors.shape)
+        return quantized + signs * errors * max_abs
+
+    # ------------------------------------------------------------------ #
+    # Model execution
+    # ------------------------------------------------------------------ #
+    def predict(self, model: Sequential, inputs: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Forward pass with perturbed weights and quantized activations."""
+        saved: dict[int, dict[str, np.ndarray]] = {}
+        try:
+            for index, layer in enumerate(model.layers):
+                if isinstance(layer, (Conv2D, Dense)):
+                    saved[index] = {
+                        name: param.copy() for name, param in layer.parameters().items()
+                    }
+                    weight = layer.parameters()["weight"]
+                    weight[...] = self.perturbed_weights(weight)
+            model.eval()
+            outputs = []
+            for start in range(0, inputs.shape[0], batch_size):
+                batch = quantize_array(inputs[start : start + batch_size], self.resolution_bits)
+                out = batch
+                for layer in model.layers:
+                    out = layer.forward(out)
+                    out = quantize_array(out, self.resolution_bits)
+                outputs.append(out)
+            return np.concatenate(outputs, axis=0)
+        finally:
+            for index, params in saved.items():
+                layer = model.layers[index]
+                for name, value in params.items():
+                    layer.parameters()[name][...] = value
+
+    def evaluate(
+        self, model: Sequential, inputs: np.ndarray, labels: np.ndarray, batch_size: int = 64
+    ) -> PhotonicInferenceResult:
+        """Accuracy of ``model`` on a labelled dataset under this engine."""
+        logits = self.predict(model, inputs, batch_size=batch_size)
+        predictions = np.argmax(logits, axis=1)
+        accuracy = float(np.mean(predictions == np.asarray(labels, dtype=int)))
+        ideal = model.evaluate(inputs, labels, batch_size=batch_size)
+        return PhotonicInferenceResult(
+            model=model.name,
+            resolution_bits=self.resolution_bits,
+            residual_drift_nm=self.residual_drift_nm,
+            accuracy=accuracy,
+            ideal_accuracy=ideal,
+        )
+
+
+def accuracy_vs_residual_drift(
+    model: Sequential,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    drifts_nm,
+    resolution_bits: int = 16,
+    seed: int = 0,
+) -> list[PhotonicInferenceResult]:
+    """Sweep the uncompensated drift and measure inference accuracy.
+
+    This is the accuracy-side ablation of the paper's tuning contribution:
+    small residual drifts (what the hybrid TED circuit achieves) leave
+    accuracy at its quantization-limited value, while letting the full
+    FPV drift go uncompensated destroys it.
+    """
+    results = []
+    for drift in drifts_nm:
+        engine = PhotonicInferenceEngine(
+            resolution_bits=resolution_bits,
+            residual_drift_nm=float(drift),
+            seed=seed,
+        )
+        results.append(engine.evaluate(model, inputs, labels))
+    return results

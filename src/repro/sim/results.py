@@ -1,0 +1,64 @@
+"""Plain-text result formatting for experiment drivers and examples.
+
+The paper reports its evaluation as tables (Table III) and figures (Figs.
+4-8).  In a headless, matplotlib-free environment the reproduction renders
+each of those artefacts as aligned plain-text tables; these helpers keep the
+formatting consistent across the experiment drivers, the examples, and the
+benchmark harness output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a list of rows as an aligned plain-text table.
+
+    Floats are formatted with ``float_format``; everything else is rendered
+    with ``str``.  Columns are right-aligned except the first, which is
+    left-aligned (it usually holds names).
+    """
+    if not headers:
+        raise ValueError("headers must not be empty")
+
+    def _render(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def _format_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = [_format_row(headers), _format_row(["-" * w for w in widths])]
+    lines.extend(_format_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_ratio(value: float, reference: float) -> str:
+    """Render ``reference / value`` as an 'x-times better' style ratio."""
+    if value <= 0 or reference <= 0:
+        raise ValueError("ratio operands must be positive")
+    return f"{reference / value:.1f}x"

@@ -1,0 +1,82 @@
+"""End-to-end performance simulator: DNN models x photonic accelerators.
+
+This is the reproduction's equivalent of the paper's "custom CrossLight
+accelerator simulator in Python": it traces the dot-product workloads of the
+Table-I DNN models and runs them through the analytic accelerator models
+(CrossLight variants, DEAP-CNN, HolyLight), producing per-model
+:class:`repro.arch.metrics.InferenceReport` records and the Table III-style
+averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.accelerator import CrossLightAccelerator, PhotonicAccelerator
+from repro.arch.metrics import AggregateReport, InferenceReport, aggregate
+from repro.baselines.deap_cnn import DeapCnnAccelerator
+from repro.baselines.holylight import HolyLightAccelerator
+from repro.nn.model import Sequential, SiameseModel
+from repro.nn.zoo import build_all_models
+from repro.sim.tracer import trace_model
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Aggregate reports of several accelerators over the same model set."""
+
+    aggregates: tuple[AggregateReport, ...]
+
+    def by_name(self, accelerator_name: str) -> AggregateReport:
+        """The aggregate report of a given accelerator."""
+        for report in self.aggregates:
+            if report.accelerator == accelerator_name:
+                return report
+        raise KeyError(f"no aggregate report for accelerator {accelerator_name!r}")
+
+    @property
+    def accelerator_names(self) -> tuple[str, ...]:
+        """Names of the compared accelerators, in simulation order."""
+        return tuple(report.accelerator for report in self.aggregates)
+
+
+def simulate_model(
+    accelerator: PhotonicAccelerator, model: Sequential | SiameseModel
+) -> InferenceReport:
+    """Inference report of one model on one accelerator."""
+    name = model.name if hasattr(model, "name") else type(model).__name__
+    return accelerator.simulate_workloads(trace_model(model), name)
+
+
+def simulate_models(
+    accelerator: PhotonicAccelerator,
+    models: dict[int, Sequential | SiameseModel] | None = None,
+) -> AggregateReport:
+    """Aggregate report of an accelerator across the four Table-I models."""
+    models = models or build_all_models()
+    reports = [simulate_model(accelerator, model) for _, model in sorted(models.items())]
+    return aggregate(reports)
+
+
+def default_accelerators() -> tuple[PhotonicAccelerator, ...]:
+    """The photonic accelerators compared in Fig. 7/8 and Table III.
+
+    Order matches the paper's tables: DEAP-CNN, HolyLight, then the four
+    CrossLight variants from least to most optimized.
+    """
+    return (
+        DeapCnnAccelerator(),
+        HolyLightAccelerator(),
+        *CrossLightAccelerator.all_variants(),
+    )
+
+
+def compare_accelerators(
+    accelerators: tuple[PhotonicAccelerator, ...] | None = None,
+    models: dict[int, Sequential | SiameseModel] | None = None,
+) -> ComparisonResult:
+    """Simulate every accelerator on every model and aggregate the results."""
+    accelerators = accelerators or default_accelerators()
+    models = models or build_all_models()
+    aggregates = tuple(simulate_models(acc, models) for acc in accelerators)
+    return ComparisonResult(aggregates=aggregates)

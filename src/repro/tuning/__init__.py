@@ -1,0 +1,35 @@
+"""Circuit-level MR tuning: thermo-optic, electro-optic, TED, hybrid policy.
+
+This subpackage implements CrossLight's circuit-level contribution:
+
+* :mod:`repro.tuning.thermo_optic` -- slow, high-power, wide-range TO tuner.
+* :mod:`repro.tuning.electro_optic` -- fast, low-power, narrow-range EO tuner.
+* :mod:`repro.tuning.ted` -- Thermal Eigenmode Decomposition collective
+  tuning, which cancels thermal crosstalk and lets MRs sit 5 um apart.
+* :mod:`repro.tuning.hybrid` -- the hybrid TO+EO tuning policy and the
+  conventional all-TO policy used by prior accelerators.
+"""
+
+from repro.tuning.electro_optic import ElectroOpticTuner
+from repro.tuning.hybrid import (
+    ConventionalTOTuningPolicy,
+    HybridTuningPolicy,
+    TuningPlan,
+)
+from repro.tuning.ted import (
+    TEDTuningResult,
+    ThermalEigenmodeDecomposition,
+    tuning_power_vs_pitch,
+)
+from repro.tuning.thermo_optic import ThermoOpticTuner
+
+__all__ = [
+    "ConventionalTOTuningPolicy",
+    "ElectroOpticTuner",
+    "HybridTuningPolicy",
+    "TEDTuningResult",
+    "ThermalEigenmodeDecomposition",
+    "ThermoOpticTuner",
+    "TuningPlan",
+    "tuning_power_vs_pitch",
+]

@@ -1,0 +1,180 @@
+"""Hybrid thermo-optic + electro-optic tuning policy (paper Section IV.B).
+
+CrossLight's circuit-level contribution is a tuning workflow that combines
+the strengths of both mechanisms:
+
+1. **Boot time** -- a one-time thermo-optic (TO) compensation of the
+   design-time fabrication-process-variation drift, computed collectively
+   with TED so thermal crosstalk between the tightly packed rings is
+   cancelled rather than fought.
+2. **Steady state** -- fast electro-optic (EO) tuning imprints the vector
+   elements (weights/activations) of every vector operation; its ~20 ns
+   latency is what keeps the per-operation cycle time short.
+3. **Rare recalibration** -- if a large ambient temperature excursion is
+   observed, another one-time TO/TED calibration absorbs it.
+
+The :class:`HybridTuningPolicy` decides which mechanism handles a given shift
+and accounts for the corresponding power and latency; the
+:class:`TuningPlan` it produces is what the architecture-level power model
+consumes (static TO holding power + dynamic per-operation EO power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.constants import OPTIMIZED_MR, MRDesignParameters
+from repro.tuning.electro_optic import ElectroOpticTuner
+from repro.tuning.ted import ThermalEigenmodeDecomposition
+from repro.tuning.thermo_optic import ThermoOpticTuner
+from repro.variations.thermal import ThermalCrosstalkModel
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class TuningPlan:
+    """Static + dynamic tuning budget for one MR bank.
+
+    Attributes
+    ----------
+    static_to_power_w:
+        Thermo-optic holding power for the boot-time FPV/thermal
+        compensation (sum over the bank).
+    dynamic_eo_power_w:
+        Electro-optic power while actively imprinting vector elements
+        (sum over the bank, at the average weight detuning).
+    boot_latency_s:
+        One-time latency of the boot calibration.
+    update_latency_s:
+        Latency to imprint a new vector element set (per vector operation).
+    """
+
+    static_to_power_w: float
+    dynamic_eo_power_w: float
+    boot_latency_s: float
+    update_latency_s: float
+
+    @property
+    def total_power_w(self) -> float:
+        """Steady-state tuning power (static TO + dynamic EO)."""
+        return self.static_to_power_w + self.dynamic_eo_power_w
+
+
+@dataclass
+class HybridTuningPolicy:
+    """Policy combining TO (with optional TED) and EO tuning for an MR bank.
+
+    Parameters
+    ----------
+    mr_design:
+        MR design point; its ``fpv_drift_nm`` is the boot-time shift that TO
+        tuning must absorb, and its FSR scales the TO power figure.
+    use_ted:
+        Whether boot-time TO compensation uses the TED collective solve
+        (CrossLight) or naive per-ring tuning (prior accelerators).
+    mr_pitch_um:
+        Ring spacing; 5 um when TED is available, 120 um otherwise (the
+        conservative end of the paper's 120-200 um no-TED spacing rule keeps
+        the comparison favourable to the baseline).
+    eo_tuner / to_tuner:
+        Tuner device models.
+    crosstalk:
+        Thermal-crosstalk model used by the TED solver.
+    """
+
+    mr_design: MRDesignParameters = field(default_factory=lambda: OPTIMIZED_MR)
+    use_ted: bool = True
+    mr_pitch_um: float | None = None
+    eo_tuner: ElectroOpticTuner = field(default_factory=ElectroOpticTuner)
+    to_tuner: ThermoOpticTuner = field(default_factory=ThermoOpticTuner)
+    crosstalk: ThermalCrosstalkModel = field(default_factory=ThermalCrosstalkModel)
+
+    def __post_init__(self) -> None:
+        if self.mr_pitch_um is None:
+            self.mr_pitch_um = 5.0 if self.use_ted else 120.0
+        check_positive("mr_pitch_um", self.mr_pitch_um)
+
+    # ------------------------------------------------------------------ #
+    # Mechanism selection
+    # ------------------------------------------------------------------ #
+    def mechanism_for_shift(self, shift_nm: float) -> str:
+        """Which tuning mechanism handles a resonance shift of ``shift_nm``.
+
+        Small shifts (within the EO range) are handled electro-optically;
+        larger shifts require the thermo-optic heater.
+        """
+        if self.eo_tuner.can_compensate(shift_nm):
+            return "EO"
+        if self.to_tuner.can_compensate(shift_nm):
+            return "TO"
+        raise ValueError(
+            f"shift {shift_nm:.2f} nm exceeds both EO ({self.eo_tuner.range_nm} nm) "
+            f"and TO ({self.to_tuner.range_nm} nm) ranges"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Bank-level planning
+    # ------------------------------------------------------------------ #
+    def boot_compensation_power_w(self, n_mrs: int) -> float:
+        """TO holding power to compensate boot-time FPV drift across a bank.
+
+        Converts the design's FPV drift into an equivalent phase (one FSR of
+        drift corresponds to a 2*pi round-trip phase), then either solves the
+        TED collective system (CrossLight) or applies the naive per-ring
+        power including crosstalk-compensation overhead.
+        """
+        check_positive_int("n_mrs", n_mrs)
+        drift_nm = self.mr_design.fpv_drift_nm
+        phase_per_ring = 2.0 * np.pi * drift_nm / self.mr_design.fsr_nm
+        solver = ThermalEigenmodeDecomposition(crosstalk=self.crosstalk)
+        return solver.uniform_bank_power_w(
+            n_rings=n_mrs,
+            pitch_um=self.mr_pitch_um,
+            phase_per_ring_rad=phase_per_ring,
+            use_ted=self.use_ted,
+        )
+
+    def weight_update_power_w(self, n_mrs: int, mean_detuning_nm: float = 0.5) -> float:
+        """EO power to hold the current weight detunings across a bank."""
+        check_positive_int("n_mrs", n_mrs)
+        check_non_negative("mean_detuning_nm", mean_detuning_nm)
+        detuning = min(mean_detuning_nm, self.eo_tuner.range_nm)
+        return n_mrs * self.eo_tuner.power_for_shift_w(detuning)
+
+    def plan_bank(self, n_mrs: int, mean_detuning_nm: float = 0.5) -> TuningPlan:
+        """Full tuning plan (static + dynamic power, latencies) for a bank."""
+        static_power = self.boot_compensation_power_w(n_mrs)
+        dynamic_power = self.weight_update_power_w(n_mrs, mean_detuning_nm)
+        return TuningPlan(
+            static_to_power_w=static_power,
+            dynamic_eo_power_w=dynamic_power,
+            boot_latency_s=self.to_tuner.latency_s,
+            update_latency_s=self.eo_tuner.latency_s,
+        )
+
+
+@dataclass
+class ConventionalTOTuningPolicy(HybridTuningPolicy):
+    """All-thermo-optic tuning as used by prior photonic accelerators.
+
+    Weight imprinting itself relies on the TO heater, so the per-operation
+    update latency is the microsecond-scale TO settling time and the dynamic
+    power is the TO (not EO) holding power.  This policy backs the
+    ``Cross_base``/``Cross_opt`` variants and the DEAP-CNN/HolyLight
+    baselines.
+    """
+
+    use_ted: bool = False
+
+    def plan_bank(self, n_mrs: int, mean_detuning_nm: float = 0.5) -> TuningPlan:
+        static_power = self.boot_compensation_power_w(n_mrs)
+        detuning = min(mean_detuning_nm, self.to_tuner.range_nm)
+        dynamic_power = n_mrs * self.to_tuner.power_for_shift_w(detuning)
+        return TuningPlan(
+            static_to_power_w=static_power,
+            dynamic_eo_power_w=dynamic_power,
+            boot_latency_s=self.to_tuner.latency_s,
+            update_latency_s=self.to_tuner.latency_s,
+        )

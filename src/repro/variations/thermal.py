@@ -1,0 +1,138 @@
+"""Thermal crosstalk model for closely-spaced microring resonators.
+
+Thermo-optic tuners use microheaters; heat spreads laterally through the
+silicon/oxide stack and perturbs the phase of neighbouring rings.  The paper
+characterises this (Fig. 4, orange line) as a *phase crosstalk ratio* that
+decays exponentially with the distance between an MR pair -- a trend also
+reported in [24] -- and uses it both to justify the conventional 120-200 um
+spacing rule and to quantify the power saved by the TED collective-tuning
+scheme that lets rings sit 5 um apart.
+
+This module provides:
+
+* :class:`ThermalCrosstalkModel` -- the exponential coupling-vs-distance law
+  and the crosstalk matrix of an equally-spaced MR bank;
+* :func:`phase_crosstalk_ratio` -- the Fig. 4 orange curve;
+* helpers converting heater power to temperature rise and phase shift, used
+  by the tuning-power analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class ThermalCrosstalkModel:
+    """Exponential-decay model of heater-induced phase crosstalk.
+
+    The phase perturbation a heater at distance ``d`` induces on a
+    neighbouring ring, relative to the phase shift it induces on its own
+    ring, is ``r(d) = exp(-d / decay_length_um)``.
+
+    Parameters
+    ----------
+    decay_length_um:
+        1/e decay length of the lateral thermal profile.  ~7 um matches both the paper's Fig. 4 trend and the decay
+        length extracted from the finite-difference heat solver
+        (:func:`repro.variations.heat_solver.fit_decay_length_um`), where crosstalk is strong below ~5 um and
+        negligible beyond a few tens of micrometres.
+    self_heating_phase_per_watt:
+        Phase shift (radians) a ring experiences per watt of its own heater
+        power -- sets the absolute scale of the tuning-power calculations.
+    """
+
+    decay_length_um: float = 7.0
+    self_heating_phase_per_watt: float = 2.0 * np.pi / 27.5e-3
+
+    def __post_init__(self) -> None:
+        check_positive("decay_length_um", self.decay_length_um)
+        check_positive("self_heating_phase_per_watt", self.self_heating_phase_per_watt)
+
+    def coupling(self, distance_um) -> float | np.ndarray:
+        """Crosstalk ratio between two rings separated by ``distance_um``."""
+        distance = np.asarray(distance_um, dtype=float)
+        if np.any(distance < 0):
+            raise ValueError("distance must be non-negative")
+        result = np.exp(-distance / self.decay_length_um)
+        if np.isscalar(distance_um):
+            return float(result)
+        return result
+
+    def crosstalk_matrix(self, n_rings: int, pitch_um: float) -> np.ndarray:
+        """Symmetric crosstalk matrix K of an equally-spaced bank.
+
+        ``K[i, j]`` is the fraction of ring *j*'s heater phase that appears
+        on ring *i*.  The diagonal is 1 (self heating).  This matrix is the
+        input to the TED analysis: the heater powers needed to realise a
+        desired phase vector ``phi`` are ``K^-1 phi`` (scaled by the
+        self-heating efficiency), and its eigen-decomposition is what the
+        thermal eigenmode method exploits.
+        """
+        check_positive_int("n_rings", n_rings)
+        check_positive("pitch_um", pitch_um)
+        indices = np.arange(n_rings, dtype=float)
+        distances = np.abs(indices[:, None] - indices[None, :]) * pitch_um
+        return self.coupling(distances)
+
+    def phase_from_heater_powers(
+        self, heater_powers_w: np.ndarray, pitch_um: float
+    ) -> np.ndarray:
+        """Phase shift each ring experiences for a vector of heater powers."""
+        powers = np.asarray(heater_powers_w, dtype=float)
+        if powers.ndim != 1:
+            raise ValueError("heater_powers_w must be 1-D")
+        matrix = self.crosstalk_matrix(powers.size, pitch_um)
+        return self.self_heating_phase_per_watt * (matrix @ powers)
+
+    def heater_powers_for_phase(
+        self, target_phases_rad: np.ndarray, pitch_um: float
+    ) -> np.ndarray:
+        """Heater powers realising a target phase vector, crosstalk included.
+
+        Solves the coupled linear system ``eta * K p = phi``.  When rings are
+        close together the matrix is ill-conditioned and the naive
+        (independent, crosstalk-ignoring) solution badly over- or
+        under-shoots; the returned powers are the exact collective solution,
+        clipped at zero because heaters cannot cool.
+        """
+        phases = np.asarray(target_phases_rad, dtype=float)
+        if phases.ndim != 1:
+            raise ValueError("target_phases_rad must be 1-D")
+        matrix = self.crosstalk_matrix(phases.size, pitch_um)
+        raw = np.linalg.solve(matrix, phases / self.self_heating_phase_per_watt)
+        return np.clip(raw, 0.0, None)
+
+
+def phase_crosstalk_ratio(distance_um, decay_length_um: float = 7.0):
+    """Phase crosstalk ratio vs MR-pair distance (paper Fig. 4, orange line).
+
+    Convenience wrapper over :class:`ThermalCrosstalkModel.coupling` for the
+    figure-reproduction driver.
+    """
+    check_non_negative("decay_length_um-implied", 0.0)
+    return ThermalCrosstalkModel(decay_length_um=decay_length_um).coupling(distance_um)
+
+
+def temperature_rise_from_heater(
+    heater_power_w: float,
+    distance_um: float,
+    thermal_resistance_k_per_w: float = 1.2e3,
+    decay_length_um: float = 7.0,
+) -> float:
+    """Temperature rise (K) at ``distance_um`` from a heater dissipating P.
+
+    Combines a lumped thermal resistance for the on-site temperature rise
+    with the same exponential lateral decay used for phase crosstalk, giving
+    a simple but self-consistent picture: a 27.5 mW full-FSR heater raises
+    its own ring by ~30 K and a ring 5 um away by ~60 % of that.
+    """
+    check_non_negative("heater_power_w", heater_power_w)
+    check_non_negative("distance_um", distance_um)
+    check_positive("thermal_resistance_k_per_w", thermal_resistance_k_per_w)
+    on_site = heater_power_w * thermal_resistance_k_per_w
+    return on_site * float(np.exp(-distance_um / decay_length_um))

@@ -1,0 +1,64 @@
+"""Shared fixtures for the CrossLight reproduction test suite.
+
+Heavy objects (full-size zoo models, trained compact models, full accelerator
+comparisons) are expensive to construct, so they are built once per session
+and shared across test modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import CrossLightAccelerator
+from repro.nn import build_model, sign_mnist_synthetic
+from repro.sim import compare_accelerators
+
+
+@pytest.fixture(scope="session")
+def full_models():
+    """The four full-size Table-I models, keyed by model index."""
+    return {index: build_model(index) for index in (1, 2, 3, 4)}
+
+
+@pytest.fixture(scope="session")
+def lenet_full(full_models):
+    """Full-size LeNet-5 (model 1)."""
+    return full_models[1]
+
+
+@pytest.fixture(scope="session")
+def best_accelerator():
+    """The Cross_opt_TED accelerator (the paper's best variant)."""
+    return CrossLightAccelerator.from_variant("cross_opt_ted")
+
+
+@pytest.fixture(scope="session")
+def all_variants():
+    """All four CrossLight variants."""
+    return CrossLightAccelerator.all_variants()
+
+
+@pytest.fixture(scope="session")
+def comparison(full_models):
+    """Full accelerator comparison across the four Table-I models."""
+    return compare_accelerators(models=full_models)
+
+
+@pytest.fixture(scope="session")
+def trained_compact_lenet():
+    """A compact LeNet-5 trained briefly on the synthetic Sign-MNIST data.
+
+    Returns ``(model, test_x, test_y)``; training is short but enough to be
+    clearly better than chance, which is what the quantization tests need.
+    """
+    train_x, train_y, test_x, test_y = sign_mnist_synthetic(n_train=300, n_test=150)
+    model = build_model(1, compact=True)
+    model.fit(train_x, train_y, epochs=5, batch_size=32, seed=0)
+    return model, test_x, test_y
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic NumPy random generator for per-test randomness."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,113 @@
+"""Tests for CONV/FC vector decomposition onto VDP operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    DecompositionPlan,
+    conv2d_reference,
+    conv2d_via_vdp,
+    decompose_vector,
+    dot_product_partial_sums,
+    matvec_via_vdp,
+    plan_layer,
+)
+
+
+class TestVectorDecomposition:
+    def test_chunks_reassemble_to_original(self, rng):
+        vector = rng.normal(size=47)
+        chunks = decompose_vector(vector, 15)
+        np.testing.assert_allclose(np.concatenate(chunks), vector)
+        assert [len(c) for c in chunks] == [15, 15, 15, 2]
+
+    def test_exact_multiple_has_no_remainder_chunk(self, rng):
+        chunks = decompose_vector(rng.normal(size=30), 15)
+        assert [len(c) for c in chunks] == [15, 15]
+
+    def test_partial_sums_equal_full_dot_product(self, rng):
+        weights = rng.normal(size=100)
+        activations = rng.normal(size=100)
+        partial_sums, total = dot_product_partial_sums(weights, activations, 15)
+        assert total == pytest.approx(float(weights @ activations), rel=1e-12)
+        assert partial_sums.size == 7
+
+    def test_paper_equation4_example(self):
+        # [k1 k2 k3 k4] . [a1 a2 a3 a4] = SP1 + SP2 with chunk size 2 (Eq. 4).
+        kernel = np.array([1.0, 2.0, 3.0, 4.0])
+        activations = np.array([0.5, 0.25, 0.1, 0.2])
+        partial_sums, total = dot_product_partial_sums(kernel, activations, 2)
+        assert partial_sums[0] == pytest.approx(1 * 0.5 + 2 * 0.25)
+        assert partial_sums[1] == pytest.approx(3 * 0.1 + 4 * 0.2)
+        assert total == pytest.approx(float(kernel @ activations))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            dot_product_partial_sums(np.ones(4), np.ones(5), 2)
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises((TypeError, ValueError)):
+            decompose_vector(np.ones(4), 0)
+
+
+class TestConvMapping:
+    def test_vdp_convolution_matches_reference(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        kernels = rng.normal(size=(4, 3, 3, 3))
+        reference = conv2d_reference(images, kernels)
+        for chunk in (5, 15, 20, 27, 64):
+            decomposed = conv2d_via_vdp(images, kernels, chunk_size=chunk)
+            np.testing.assert_allclose(decomposed, reference, rtol=1e-10, atol=1e-12)
+
+    def test_vdp_convolution_with_stride_and_padding(self, rng):
+        images = rng.normal(size=(1, 2, 9, 9))
+        kernels = rng.normal(size=(3, 2, 3, 3))
+        reference = conv2d_reference(images, kernels, stride=2, padding=1)
+        decomposed = conv2d_via_vdp(images, kernels, chunk_size=7, stride=2, padding=1)
+        np.testing.assert_allclose(decomposed, reference, rtol=1e-10)
+
+    def test_matvec_via_vdp_matches_numpy(self, rng):
+        matrix = rng.normal(size=(20, 300))
+        vector = rng.normal(size=300)
+        for chunk in (15, 150, 256, 300):
+            np.testing.assert_allclose(
+                matvec_via_vdp(matrix, vector, chunk), matrix @ vector, rtol=1e-10
+            )
+
+    def test_channel_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            conv2d_via_vdp(rng.normal(size=(1, 2, 5, 5)), rng.normal(size=(1, 3, 3, 3)), 5)
+
+
+class TestDecompositionPlan:
+    def test_chunk_and_cycle_arithmetic(self):
+        plan = plan_layer(dot_product_length=576, n_dot_products=1000, unit_vector_size=20)
+        assert plan.chunks_per_dot_product == 29
+        assert plan.total_unit_operations == 29_000
+        assert plan.cycles_on_units(100) == 290
+
+    def test_exact_fit_has_single_chunk(self):
+        plan = plan_layer(150, 10, 150)
+        assert plan.chunks_per_dot_product == 1
+        assert plan.cycles_on_units(60) == 1
+
+    def test_zero_workload(self):
+        plan = plan_layer(0, 0, 20)
+        assert plan.total_unit_operations == 0
+        assert plan.cycles_on_units(10) == 0
+
+    def test_cycles_round_up(self):
+        plan = plan_layer(20, 101, 20)
+        assert plan.cycles_on_units(100) == 2
+
+    def test_negative_workload_rejected(self):
+        with pytest.raises(ValueError):
+            plan_layer(-1, 10, 20)
+
+    def test_plan_is_frozen_dataclass(self):
+        plan = plan_layer(10, 10, 20)
+        assert isinstance(plan, DecompositionPlan)
+        with pytest.raises(AttributeError):
+            plan.n_dot_products = 5

@@ -1,0 +1,122 @@
+"""Tests for the VDP unit model: structure, optics, power, latency, behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import VDPUnit
+from repro.devices import EO_TUNING, TO_TUNING
+
+
+class TestStructure:
+    def test_arm_count_follows_bank_size(self):
+        assert VDPUnit(vector_size=15).n_arms == 1
+        assert VDPUnit(vector_size=20).n_arms == 2
+        assert VDPUnit(vector_size=150).n_arms == 10
+
+    def test_wavelength_reuse_caps_wavelengths_per_arm(self):
+        unit = VDPUnit(vector_size=150, mrs_per_bank=15)
+        assert unit.wavelengths_per_arm == 15
+
+    def test_small_vector_uses_fewer_wavelengths(self):
+        assert VDPUnit(vector_size=8, mrs_per_bank=15).wavelengths_per_arm == 8
+
+    def test_inventory_counts(self):
+        unit = VDPUnit(vector_size=20, mrs_per_bank=15)
+        inv = unit.inventory
+        assert inv.n_arms == 2
+        assert inv.mrs_per_arm == 30
+        assert inv.total_mrs == 60
+        assert inv.photodetectors == 5  # 2 per arm (balanced) + 1 accumulator
+        assert inv.vcsels == 2
+        assert inv.adc_channels == 1
+
+    def test_paper_limit_30_mrs_per_arm(self):
+        unit = VDPUnit(vector_size=150, mrs_per_bank=15)
+        assert unit.inventory.mrs_per_arm == 30
+
+
+class TestOptics:
+    def test_fc_unit_has_higher_loss_than_conv_unit(self):
+        conv = VDPUnit(vector_size=20)
+        fc = VDPUnit(vector_size=150)
+        assert fc.arm_path_loss_db() > conv.arm_path_loss_db()
+
+    def test_tight_pitch_reduces_loss(self):
+        ted = VDPUnit(vector_size=20, mr_pitch_um=5.0)
+        spaced = VDPUnit(vector_size=20, mr_pitch_um=120.0)
+        assert ted.arm_path_loss_db() < spaced.arm_path_loss_db()
+
+    def test_laser_power_increases_with_loss(self):
+        ted = VDPUnit(vector_size=20, mr_pitch_um=5.0)
+        spaced = VDPUnit(vector_size=20, mr_pitch_um=120.0)
+        assert ted.laser_power_w() < spaced.laser_power_w()
+
+    def test_laser_power_reasonable_magnitude(self):
+        # Per-unit laser power should be milliwatts, not watts.
+        assert VDPUnit(vector_size=20).laser_power_w() < 0.1
+
+    def test_accumulation_path_loss_positive(self):
+        assert VDPUnit(vector_size=20).accumulation_path_loss_db() > 0
+
+
+class TestPowerAndLatency:
+    def test_receiver_power_scales_with_arms(self):
+        small = VDPUnit(vector_size=20)
+        large = VDPUnit(vector_size=150)
+        assert large.receiver_power_w() > small.receiver_power_w()
+
+    def test_converter_power_dac_share(self):
+        unit = VDPUnit(vector_size=20)
+        assert unit.converter_power_w(dac_share=0.5) < unit.converter_power_w(dac_share=1.0)
+        with pytest.raises(ValueError):
+            unit.converter_power_w(dac_share=0.0)
+
+    def test_operation_latency_dominated_by_update_mechanism(self):
+        unit = VDPUnit(vector_size=20)
+        eo_latency = unit.operation_latency_s(EO_TUNING.latency_s)
+        to_latency = unit.operation_latency_s(TO_TUNING.latency_s)
+        assert to_latency > 100 * eo_latency
+        assert eo_latency > EO_TUNING.latency_s  # includes detection chain
+
+    def test_area_positive_and_grows_with_size(self):
+        assert VDPUnit(vector_size=150).area_mm2() > VDPUnit(vector_size=20).area_mm2() > 0
+
+
+class TestFunctionalBehaviour:
+    def test_dot_product_matches_numpy(self, rng):
+        unit = VDPUnit(vector_size=150, mrs_per_bank=15)
+        weights = rng.normal(size=150)
+        activations = rng.normal(size=150)
+        assert unit.dot_product(weights, activations) == pytest.approx(
+            float(weights @ activations), rel=1e-12
+        )
+
+    def test_dot_product_with_quantization_close_to_exact(self, rng):
+        unit = VDPUnit(vector_size=20)
+        weights = rng.uniform(-1, 1, size=20)
+        activations = rng.uniform(0, 1, size=20)
+        exact = float(weights @ activations)
+        quantized = unit.dot_product(weights, activations, resolution_bits=16)
+        coarse = unit.dot_product(weights, activations, resolution_bits=2)
+        assert quantized == pytest.approx(exact, abs=1e-3)
+        assert abs(coarse - exact) >= abs(quantized - exact)
+
+    def test_dot_product_rejects_oversized_vector(self, rng):
+        unit = VDPUnit(vector_size=20)
+        with pytest.raises(ValueError):
+            unit.dot_product(rng.normal(size=21), rng.normal(size=21))
+
+    def test_dot_product_rejects_shape_mismatch(self, rng):
+        unit = VDPUnit(vector_size=20)
+        with pytest.raises(ValueError):
+            unit.dot_product(rng.normal(size=10), rng.normal(size=12))
+
+    def test_partial_vector_supported(self, rng):
+        unit = VDPUnit(vector_size=20)
+        weights = rng.normal(size=7)
+        activations = rng.normal(size=7)
+        assert unit.dot_product(weights, activations) == pytest.approx(
+            float(weights @ activations)
+        )

@@ -1,0 +1,124 @@
+"""Unit tests for inter-channel crosstalk and resolution analysis (Eqs. 8-10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crosstalk import (
+    analyze_bank_resolution,
+    channel_wavelengths_nm,
+    crosslight_bank_resolution,
+    crosstalk_matrix,
+    deap_cnn_bank_resolution,
+    holylight_microdisk_resolution,
+    lorentzian_crosstalk,
+    noise_power,
+    resolution_vs_mrs_per_bank,
+    worst_case_noise,
+)
+
+
+class TestEquation8:
+    def test_coincident_wavelengths_give_unity(self):
+        assert lorentzian_crosstalk(1550.0, 1550.0, 0.1) == pytest.approx(1.0)
+
+    def test_crosstalk_decreases_with_separation(self):
+        delta = 1550.0 / (2 * 8000.0)
+        near = lorentzian_crosstalk(1550.0, 1550.5, delta)
+        far = lorentzian_crosstalk(1550.0, 1555.0, delta)
+        assert near > far > 0.0
+
+    def test_higher_q_means_less_crosstalk(self):
+        low_q_delta = 1550.0 / (2 * 2000.0)
+        high_q_delta = 1550.0 / (2 * 10000.0)
+        assert lorentzian_crosstalk(1550.0, 1551.0, high_q_delta) < lorentzian_crosstalk(
+            1550.0, 1551.0, low_q_delta
+        )
+
+    def test_exact_value_matches_formula(self):
+        delta, separation = 0.1, 1.0
+        expected = delta**2 / (separation**2 + delta**2)
+        assert lorentzian_crosstalk(1550.0, 1551.0, delta) == pytest.approx(expected)
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ValueError):
+            lorentzian_crosstalk(1550.0, 1551.0, 0.0)
+
+
+class TestNoisePower:
+    def test_matrix_has_zero_diagonal_and_near_symmetry(self):
+        wavelengths = channel_wavelengths_nm(8, 1.2)
+        matrix = crosstalk_matrix(wavelengths, 8000.0)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+        # Eq. 8's delta depends on the victim channel's own wavelength, so
+        # the matrix is only approximately symmetric across a narrow grid.
+        np.testing.assert_allclose(matrix, matrix.T, rtol=0.05)
+
+    def test_noise_grows_with_channel_count(self):
+        noise = [
+            worst_case_noise(channel_wavelengths_nm(n, 1.2), 8000.0) for n in (2, 5, 10, 15)
+        ]
+        assert all(b > a for a, b in zip(noise, noise[1:]))
+
+    def test_noise_decreases_with_spacing(self):
+        tight = worst_case_noise(channel_wavelengths_nm(10, 0.4), 8000.0)
+        loose = worst_case_noise(channel_wavelengths_nm(10, 1.8), 8000.0)
+        assert loose < tight
+
+    def test_noise_power_scales_with_input_power(self):
+        wavelengths = channel_wavelengths_nm(6, 1.0)
+        unit = noise_power(wavelengths, 8000.0)
+        doubled = noise_power(wavelengths, 8000.0, input_powers=2 * np.ones(6))
+        np.testing.assert_allclose(doubled, 2 * unit)
+
+    def test_interior_channel_is_worst_case(self):
+        wavelengths = channel_wavelengths_nm(9, 1.2)
+        per_channel = noise_power(wavelengths, 8000.0)
+        assert int(np.argmax(per_channel)) not in (0, len(wavelengths) - 1)
+
+
+class TestResolution:
+    def test_crosslight_reaches_16_bits(self):
+        assert crosslight_bank_resolution().resolution_bits >= 16
+
+    def test_deap_cnn_limited_to_about_4_bits(self):
+        assert deap_cnn_bank_resolution().resolution_bits == 4
+
+    def test_holylight_microdisk_limited_to_about_2_bits(self):
+        assert holylight_microdisk_resolution().resolution_bits == 2
+
+    def test_resolution_ordering_matches_paper(self):
+        crosslight = crosslight_bank_resolution().resolution_bits
+        deap = deap_cnn_bank_resolution().resolution_bits
+        holy = holylight_microdisk_resolution().resolution_bits
+        assert crosslight > deap > holy
+
+    def test_single_channel_has_no_crosstalk_limit(self):
+        report = analyze_bank_resolution(1, 1.0, 8000.0)
+        assert report.worst_case_noise == 0.0
+        assert report.resolution_bits >= 32
+
+    def test_calibration_rejection_improves_resolution(self):
+        uncalibrated = analyze_bank_resolution(15, 1.2, 8000.0, calibration_rejection_db=0.0)
+        calibrated = analyze_bank_resolution(15, 1.2, 8000.0, calibration_rejection_db=32.0)
+        assert calibrated.resolution_bits > uncalibrated.resolution_bits
+
+    def test_resolution_levels_is_reciprocal_of_noise(self):
+        report = analyze_bank_resolution(10, 1.0, 8000.0)
+        assert report.resolution_levels == pytest.approx(1.0 / report.effective_noise)
+
+    def test_bank_size_sweep_monotone_noise(self):
+        sweep = resolution_vs_mrs_per_bank(max_mrs=25)
+        noise = sweep["worst_case_noise"]
+        assert np.all(np.diff(noise) >= -1e-15)
+
+    def test_bank_size_sweep_15_mrs_still_16_bits(self):
+        sweep = resolution_vs_mrs_per_bank(max_mrs=20)
+        bits_at_15 = int(sweep["resolution_bits"][list(sweep["n_mrs"]).index(15)])
+        assert bits_at_15 >= 16
+
+    def test_resolution_drops_for_oversized_banks(self):
+        sweep = resolution_vs_mrs_per_bank(max_mrs=30)
+        bits = sweep["resolution_bits"]
+        assert bits[-1] < bits[list(sweep["n_mrs"]).index(15)]

@@ -1,0 +1,180 @@
+"""Unit tests for active devices: lasers, photodetectors, modulators,
+microdisks, and ADC/DAC converters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    BalancedPhotodetector,
+    ConverterArray,
+    LaserSource,
+    MachZehnderModulator,
+    Microdisk,
+    PD_SENSITIVITY_DBM,
+    Photodetector,
+    ReceiverChain,
+    TransimpedanceAmplifier,
+    VCSELEmitter,
+    adc_channel,
+    dac_channel,
+    required_laser_power_dbm,
+    required_laser_power_watt,
+)
+
+
+class TestLaserPowerModel:
+    def test_equation7_structure(self):
+        # P_laser = S_detector + loss + 10 log10(N_lambda)
+        power = required_laser_power_dbm(photonic_loss_db=5.0, n_wavelengths=10)
+        assert power == pytest.approx(PD_SENSITIVITY_DBM + 5.0 + 10.0)
+
+    def test_single_wavelength_has_no_wdm_penalty(self):
+        power = required_laser_power_dbm(photonic_loss_db=3.0, n_wavelengths=1)
+        assert power == pytest.approx(PD_SENSITIVITY_DBM + 3.0)
+
+    def test_power_monotone_in_loss(self):
+        losses = np.linspace(0.0, 30.0, 20)
+        powers = [required_laser_power_watt(loss, 15) for loss in losses]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_power_monotone_in_wavelength_count(self):
+        powers = [required_laser_power_watt(5.0, n) for n in (1, 2, 4, 8, 16)]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_3db_more_loss_doubles_power(self):
+        base = required_laser_power_watt(5.0, 4)
+        more = required_laser_power_watt(8.0103, 4)
+        assert more == pytest.approx(2 * base, rel=1e-3)
+
+    def test_laser_source_electrical_exceeds_optical(self):
+        laser = LaserSource(n_wavelengths=15, wall_plug_efficiency=0.25)
+        optical = laser.optical_power_watt(6.0)
+        electrical = laser.electrical_power_watt(6.0)
+        assert electrical == pytest.approx(optical / 0.25)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            required_laser_power_dbm(-1.0, 4)
+        with pytest.raises((TypeError, ValueError)):
+            required_laser_power_dbm(1.0, 0)
+
+
+class TestPhotodetectors:
+    def test_photocurrent_sums_wavelength_powers(self):
+        pd = Photodetector(responsivity_a_per_w=0.8)
+        current = pd.photocurrent_a([1e-3, 2e-3, 3e-3])
+        assert current == pytest.approx(0.8 * 6e-3)
+
+    def test_photocurrent_rejects_negative_power(self):
+        pd = Photodetector()
+        with pytest.raises(ValueError):
+            pd.photocurrent_a([-1e-3])
+
+    def test_balanced_pd_computes_signed_difference(self):
+        bpd = BalancedPhotodetector()
+        positive = [3e-3]
+        negative = [1e-3, 1e-3]
+        current = bpd.differential_current_a(positive, negative)
+        assert current == pytest.approx(1e-3)
+        assert bpd.differential_current_a(negative, positive) == pytest.approx(-1e-3)
+
+    def test_receiver_chain_latency_and_power_compose(self):
+        chain = ReceiverChain()
+        assert chain.latency_s == pytest.approx(
+            chain.detector.latency_s + chain.tia.latency_s
+        )
+        assert chain.power_w == pytest.approx(chain.detector.power_w + chain.tia.power_w)
+
+    def test_tia_voltage_proportional_to_current(self):
+        tia = TransimpedanceAmplifier(gain_ohm=5e3)
+        assert tia.output_voltage_v(1e-3) == pytest.approx(5.0)
+
+    def test_table2_values_wired_in(self):
+        pd = Photodetector()
+        assert pd.latency_s == pytest.approx(5.8e-12)
+        assert pd.power_w == pytest.approx(2.8e-3)
+        tia = TransimpedanceAmplifier()
+        assert tia.latency_s == pytest.approx(0.15e-9)
+        assert tia.power_w == pytest.approx(7.2e-3)
+
+
+class TestModulators:
+    def test_mzm_scales_power_by_activation(self):
+        mzm = MachZehnderModulator(insertion_loss_db=0.0)
+        assert mzm.modulate(1e-3, 0.5) == pytest.approx(0.5e-3)
+
+    def test_mzm_insertion_loss_applied(self):
+        mzm = MachZehnderModulator(insertion_loss_db=3.0103)
+        assert mzm.modulate(1e-3, 1.0) == pytest.approx(0.5e-3, rel=1e-3)
+
+    def test_mzm_extinction_floor(self):
+        mzm = MachZehnderModulator(extinction_ratio_db=20.0, insertion_loss_db=0.0)
+        assert mzm.modulate(1e-3, 0.0) == pytest.approx(1e-5)
+
+    def test_mzm_vectorised_matches_scalar(self, rng):
+        mzm = MachZehnderModulator()
+        activations = rng.uniform(0, 1, size=8)
+        vector = mzm.modulate_vector(2e-3, activations)
+        scalars = [mzm.modulate(2e-3, float(a)) for a in activations]
+        np.testing.assert_allclose(vector, scalars)
+
+    def test_mzm_rejects_out_of_range_activation(self):
+        with pytest.raises(ValueError):
+            MachZehnderModulator().modulate(1e-3, 1.5)
+
+    def test_vcsel_table2_values(self):
+        vcsel = VCSELEmitter()
+        assert vcsel.latency_s == pytest.approx(10e-9)
+        assert vcsel.power_w == pytest.approx(0.66e-3)
+
+    def test_vcsel_emission_scales_with_value(self):
+        vcsel = VCSELEmitter()
+        assert vcsel.emit(0.5) == pytest.approx(vcsel.optical_output_power_w * 0.5)
+        assert vcsel.emit(0.0) == 0.0
+
+
+class TestMicrodisk:
+    def test_devices_for_16_bits_is_8(self):
+        disk = Microdisk(bits_per_device=2)
+        assert disk.devices_for_resolution(16) == 8
+
+    def test_ganged_loss_scales_with_devices(self):
+        disk = Microdisk()
+        assert disk.ganged_loss_db(16) == pytest.approx(8 * disk.insertion_loss_db)
+        assert disk.ganged_loss_db(2) == pytest.approx(disk.insertion_loss_db)
+
+    def test_microdisk_lossier_than_mr_through(self):
+        from repro.devices import DEFAULT_LOSSES
+
+        assert Microdisk().insertion_loss_db > DEFAULT_LOSSES.mr_through_db
+
+    def test_microdisk_smaller_than_mr(self):
+        from repro.devices import MicroringResonator
+
+        assert Microdisk().footprint_um2 < MicroringResonator.optimized().footprint_um2
+
+
+class TestConverters:
+    def test_dac_adc_constructors(self):
+        assert dac_channel().kind == "DAC"
+        assert adc_channel(8).resolution_bits == 8
+
+    def test_conversion_latency_from_rate(self):
+        channel = dac_channel()
+        assert channel.conversion_latency_s == pytest.approx(1.0 / (channel.sample_rate_gsps * 1e9))
+
+    def test_array_power_scales_with_channels(self):
+        array = ConverterArray(channel=adc_channel(), n_channels=10)
+        assert array.total_power_w == pytest.approx(10 * adc_channel().power_w)
+
+    def test_vector_conversion_serialises_over_channels(self):
+        array = ConverterArray(channel=dac_channel(), n_channels=4)
+        single_pass = array.time_for_vector_s(4)
+        two_passes = array.time_for_vector_s(5)
+        assert two_passes == pytest.approx(2 * single_pass)
+
+    def test_time_for_samples_positive_int_required(self):
+        with pytest.raises((TypeError, ValueError)):
+            dac_channel().time_for_samples_s(0)

@@ -1,0 +1,130 @@
+"""Unit tests for passive devices: waveguides, splitters, combiners, MR banks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    Combiner,
+    DEFAULT_LOSSES,
+    MRBank,
+    MicroringResonator,
+    SplitterTree,
+    Waveguide,
+    waveguide_for_mr_chain,
+)
+
+
+class TestWaveguide:
+    def test_insertion_loss_scales_with_length(self):
+        one_cm = Waveguide(length_um=10_000.0)
+        assert one_cm.insertion_loss_db == pytest.approx(DEFAULT_LOSSES.propagation_db_per_cm)
+        half_cm = Waveguide(length_um=5_000.0)
+        assert half_cm.insertion_loss_db == pytest.approx(one_cm.insertion_loss_db / 2)
+
+    def test_zero_length_has_zero_loss(self):
+        assert Waveguide(length_um=0.0).insertion_loss_db == 0.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Waveguide(length_um=-1.0)
+
+
+class TestSplitterTree:
+    def test_single_output_has_no_loss(self):
+        tree = SplitterTree(fanout=1)
+        assert tree.stages == 0
+        assert tree.insertion_loss_db == 0.0
+
+    def test_two_way_split_is_3db_plus_excess(self):
+        tree = SplitterTree(fanout=2)
+        assert tree.stages == 1
+        assert tree.insertion_loss_db == pytest.approx(3.0103 + DEFAULT_LOSSES.splitter_db, abs=1e-3)
+
+    def test_loss_monotone_in_fanout(self):
+        losses = [SplitterTree(fanout=f).insertion_loss_db for f in (1, 2, 4, 8, 16, 32)]
+        assert all(b > a for a, b in zip(losses, losses[1:]))
+
+    def test_non_power_of_two_fanout_rounds_stages_up(self):
+        assert SplitterTree(fanout=5).stages == 3
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises((TypeError, ValueError)):
+            SplitterTree(fanout=0)
+
+
+class TestCombiner:
+    def test_single_input_no_loss(self):
+        assert Combiner(fanin=1).insertion_loss_db == 0.0
+
+    def test_loss_per_stage(self):
+        assert Combiner(fanin=4).insertion_loss_db == pytest.approx(2 * DEFAULT_LOSSES.combiner_db)
+
+    def test_loss_monotone_in_fanin(self):
+        losses = [Combiner(fanin=f).insertion_loss_db for f in (1, 2, 4, 8, 16)]
+        assert all(b >= a for a, b in zip(losses, losses[1:]))
+
+
+class TestMRChainWaveguide:
+    def test_length_grows_with_pitch(self):
+        tight = waveguide_for_mr_chain(15, 5.0)
+        loose = waveguide_for_mr_chain(15, 120.0)
+        assert loose.length_um > tight.length_um
+        assert loose.insertion_loss_db > tight.insertion_loss_db
+
+    def test_single_ring_chain(self):
+        single = waveguide_for_mr_chain(1, 5.0)
+        assert single.length_um > 0
+
+
+class TestMRBank:
+    def test_insertion_loss_contains_through_and_modulation_losses(self):
+        bank = MRBank(n_mrs=15, mr_pitch_um=5.0)
+        expected_min = 14 * DEFAULT_LOSSES.mr_through_db + DEFAULT_LOSSES.mr_modulation_db
+        assert bank.insertion_loss_db >= expected_min
+
+    def test_ted_spacing_reduces_bank_loss(self):
+        tight = MRBank(n_mrs=15, mr_pitch_um=5.0)
+        loose = MRBank(n_mrs=15, mr_pitch_um=120.0)
+        assert tight.insertion_loss_db < loose.insertion_loss_db
+        assert tight.bank_length_um < loose.bank_length_um
+
+    def test_apply_weights_elementwise_product(self, rng):
+        bank = MRBank(n_mrs=10)
+        powers = rng.uniform(0.1, 1.0, size=10)
+        weights = rng.uniform(0.2, 1.0, size=10)
+        out = bank.apply_weights(powers, weights)
+        np.testing.assert_allclose(out, powers * weights, rtol=1e-9)
+
+    def test_apply_weights_respects_extinction_floor(self):
+        bank = MRBank(n_mrs=3)
+        out = bank.apply_weights(np.ones(3), np.zeros(3))
+        floor = bank.rings[0].min_transmission
+        np.testing.assert_allclose(out, floor)
+
+    def test_imprint_weights_returns_monotone_detunings(self):
+        bank = MRBank(n_mrs=5)
+        detunings = bank.imprint_weights(np.array([0.1, 0.3, 0.5, 0.7, 0.9]))
+        assert np.all(np.diff(detunings) > 0)
+
+    def test_imprint_rejects_too_many_weights(self):
+        bank = MRBank(n_mrs=3)
+        with pytest.raises(ValueError):
+            bank.imprint_weights(np.ones(4))
+
+    def test_imprint_rejects_out_of_range_weights(self):
+        bank = MRBank(n_mrs=3)
+        with pytest.raises(ValueError):
+            bank.imprint_weights(np.array([0.5, 1.5, 0.2]))
+
+    def test_weight_error_from_drift_increases_with_drift(self):
+        bank = MRBank(n_mrs=4)
+        weights = np.array([0.2, 0.4, 0.6, 0.8])
+        small = bank.weight_error_from_drift(weights, 0.01)
+        large = bank.weight_error_from_drift(weights, 0.2)
+        assert np.all(large >= small)
+
+    def test_bank_uses_requested_mr_template(self):
+        bank = MRBank(n_mrs=3, mr_template=MicroringResonator.conventional())
+        assert all(ring.design.name == "conventional" for ring in bank.rings)

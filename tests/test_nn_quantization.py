@@ -1,0 +1,135 @@
+"""Tests for the quantization machinery (the QKeras substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    QuantizedModelWrapper,
+    UniformQuantizer,
+    build_model,
+    evaluate_quantized_accuracy,
+    quantization_aware_finetune,
+    quantize_array,
+    sign_mnist_synthetic,
+)
+
+
+class TestUniformQuantizer:
+    def test_level_count(self):
+        assert UniformQuantizer(bits=1).n_levels == 2
+        assert UniformQuantizer(bits=8).n_levels == 256
+
+    def test_idempotence(self, rng):
+        quantizer = UniformQuantizer(bits=6)
+        values = rng.uniform(-1, 1, size=100)
+        once = quantizer.quantize(values)
+        twice = quantizer.quantize(once)
+        np.testing.assert_allclose(once, twice)
+
+    def test_values_on_grid(self, rng):
+        quantizer = UniformQuantizer(bits=4)
+        values = quantizer.quantize(rng.uniform(-1, 1, size=50))
+        # Grid levels are -max_abs + k * step for integer k in [0, 2**bits).
+        level_indices = (values + quantizer.max_abs) / quantizer.step
+        np.testing.assert_allclose(level_indices, np.round(level_indices), atol=1e-9)
+        assert np.all(level_indices > -0.5)
+        assert np.all(level_indices < quantizer.n_levels - 0.5)
+
+    def test_error_bounded_by_half_step(self, rng):
+        quantizer = UniformQuantizer(bits=5)
+        values = rng.uniform(-1, 1, size=200)
+        error = np.abs(quantizer.quantize(values) - values)
+        assert np.all(error <= quantizer.step / 2 + 1e-12)
+
+    def test_error_decreases_with_bits(self, rng):
+        values = rng.uniform(-1, 1, size=500)
+        errors = [UniformQuantizer(bits=b).quantize(values) - values for b in (2, 4, 8, 12)]
+        rms = [float(np.sqrt(np.mean(e**2))) for e in errors]
+        assert all(b < a for a, b in zip(rms, rms[1:]))
+
+    def test_binarization_at_1_bit(self):
+        quantizer = UniformQuantizer(bits=1, max_abs=1.0)
+        np.testing.assert_allclose(
+            quantizer.quantize(np.array([-0.3, 0.4, 0.0])), [-1.0, 1.0, 1.0]
+        )
+
+    def test_clipping_beyond_range(self):
+        quantizer = UniformQuantizer(bits=8, max_abs=1.0)
+        assert quantizer.quantize(np.array([5.0]))[0] == pytest.approx(1.0)
+        assert quantizer.quantize(np.array([-5.0]))[0] == pytest.approx(-1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises((TypeError, ValueError)):
+            UniformQuantizer(bits=0)
+        with pytest.raises(ValueError):
+            UniformQuantizer(bits=4, max_abs=0.0)
+
+
+class TestQuantizeArray:
+    def test_range_fit_to_data(self):
+        values = np.array([-4.0, 2.0, 3.9])
+        quantized = quantize_array(values, bits=8)
+        assert np.max(np.abs(quantized)) <= 4.0 + 1e-9
+        assert np.abs(quantized - values).max() < 4.0 / 100
+
+    def test_all_zero_array_unchanged(self):
+        values = np.zeros(10)
+        np.testing.assert_allclose(quantize_array(values, 4), values)
+
+    def test_high_bits_close_to_identity(self, rng):
+        values = rng.normal(size=100)
+        np.testing.assert_allclose(quantize_array(values, 16), values, atol=1e-3)
+
+
+class TestQuantizedModelWrapper:
+    def test_context_manager_restores_weights(self):
+        model = build_model(1, compact=True)
+        original = [p.copy() for layer in model.layers for p in layer.parameters().values()]
+        with QuantizedModelWrapper(model, weight_bits=2):
+            pass
+        restored = [p for layer in model.layers for p in layer.parameters().values()]
+        for before, after in zip(original, restored):
+            np.testing.assert_allclose(before, after)
+
+    def test_weights_actually_quantized_inside_context(self):
+        model = build_model(1, compact=True)
+        wrapper = QuantizedModelWrapper(model, weight_bits=2)
+        with wrapper:
+            weights = model.layers[0].parameters()["weight"]
+            assert len(np.unique(np.round(weights, 9))) <= 4
+
+    def test_accuracy_degrades_at_low_bits(self, trained_compact_lenet):
+        model, test_x, test_y = trained_compact_lenet
+        high = evaluate_quantized_accuracy(model, test_x, test_y, 16)
+        low = evaluate_quantized_accuracy(model, test_x, test_y, 1)
+        full = model.evaluate(test_x, test_y)
+        assert high == pytest.approx(full, abs=0.05)
+        assert low < high
+
+    def test_16bit_quantization_nearly_lossless(self, trained_compact_lenet):
+        model, test_x, test_y = trained_compact_lenet
+        assert evaluate_quantized_accuracy(model, test_x, test_y, 16) == pytest.approx(
+            model.evaluate(test_x, test_y), abs=0.03
+        )
+
+    def test_invalid_bits_rejected(self):
+        model = build_model(1, compact=True)
+        with pytest.raises((TypeError, ValueError)):
+            QuantizedModelWrapper(model, weight_bits=0)
+
+
+class TestQuantizationAwareFinetune:
+    def test_qat_does_not_break_model_and_keeps_float_weights_finite(self):
+        train_x, train_y, test_x, test_y = sign_mnist_synthetic(n_train=120, n_test=60)
+        model = build_model(1, compact=True)
+        model.fit(train_x, train_y, epochs=2, batch_size=32, seed=0)
+        before = evaluate_quantized_accuracy(model, test_x, test_y, 4)
+        quantization_aware_finetune(model, train_x, train_y, bits=4, epochs=1)
+        after = evaluate_quantized_accuracy(model, test_x, test_y, 4)
+        for layer in model.layers:
+            for param in layer.parameters().values():
+                assert np.all(np.isfinite(param))
+        # QAT should not catastrophically hurt the quantized accuracy.
+        assert after >= before - 0.15
