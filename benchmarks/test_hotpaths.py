@@ -1,0 +1,103 @@
+"""Hot-path benchmarks: vectorized weight perturbation and TED pitch sweeps.
+
+These cases track the two hot paths the array-first refactor optimised, so
+the speedups stay visible in the ``BENCH_*.json`` artefacts going forward:
+
+* :meth:`repro.sim.photonic_inference.PhotonicInferenceEngine.\
+perturbed_weights` on a Conv2D-sized weight tensor -- formerly one Python
+  Lorentzian call per weight element, now a single vectorized evaluation;
+* :func:`repro.tuning.ted.tuning_power_vs_pitch` -- the Fig. 4 sweep, now
+  running on the unified sweep engine with memoized crosstalk matrices and
+  TED eigendecompositions.
+
+The perturbation benchmark also pins the acceptance criterion of the
+refactor: >= 20x faster than the seed per-element implementation with
+elementwise-identical output.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.nn.quantization import quantize_array
+from repro.sim.photonic_inference import PhotonicInferenceEngine
+from repro.tuning.ted import tuning_power_vs_pitch
+
+#: Conv2D-sized weight tensor (64 output channels, 32 input channels, 3x3).
+CONV2D_SHAPE = (64, 32, 3, 3)
+RESIDUAL_DRIFT_NM = 0.5
+
+
+def _seed_perturbed_weights(engine: PhotonicInferenceEngine, weights: np.ndarray) -> np.ndarray:
+    """The seed (pre-vectorization) implementation: one MR call per element."""
+    quantized = quantize_array(weights, engine.resolution_bits)
+    max_abs = float(np.max(np.abs(quantized)))
+    normalised = np.abs(quantized) / max_abs
+    errors = np.array(
+        [
+            engine.mr.transmission_error_from_drift(float(v), engine.residual_drift_nm)
+            for v in normalised.reshape(-1)
+        ]
+    ).reshape(normalised.shape)
+    signs = engine._rng.choice([-1.0, 1.0], size=errors.shape)
+    return quantized + signs * errors * max_abs
+
+
+def test_perturbed_weights_conv2d_tensor(benchmark):
+    rng = np.random.default_rng(0)
+    weights = rng.normal(size=CONV2D_SHAPE)
+
+    engine = PhotonicInferenceEngine(
+        resolution_bits=16, residual_drift_nm=RESIDUAL_DRIFT_NM, seed=0
+    )
+    result = benchmark(engine.perturbed_weights, weights)
+    assert result.shape == CONV2D_SHAPE
+
+    # Elementwise identity with the seed implementation (same seed, so the
+    # random error signs are drawn identically).
+    vec_engine = PhotonicInferenceEngine(
+        resolution_bits=16, residual_drift_nm=RESIDUAL_DRIFT_NM, seed=0
+    )
+    ref_engine = PhotonicInferenceEngine(
+        resolution_bits=16, residual_drift_nm=RESIDUAL_DRIFT_NM, seed=0
+    )
+    np.testing.assert_array_equal(
+        vec_engine.perturbed_weights(weights), _seed_perturbed_weights(ref_engine, weights)
+    )
+
+    # Acceptance criterion: >= 20x faster than the seed per-element loop.
+    # (Measured directly rather than via benchmark fixtures so both sides use
+    # the same clock; the observed speedup is two to three orders of
+    # magnitude, so the margin over 20x is wide.)
+    best_vectorized = min(
+        _timed(lambda: engine.perturbed_weights(weights)) for _ in range(5)
+    )
+    seed_elapsed = _timed(lambda: _seed_perturbed_weights(engine, weights))
+    speedup = seed_elapsed / best_vectorized
+    print(
+        f"\nperturbed_weights {CONV2D_SHAPE}: vectorized {best_vectorized * 1e3:.2f} ms, "
+        f"seed loop {seed_elapsed * 1e3:.1f} ms, speedup {speedup:.0f}x"
+    )
+    assert speedup >= 20.0
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_ted_pitch_sweep(benchmark):
+    pitches = np.concatenate([np.arange(1.0, 10.5, 0.5), np.arange(12.0, 52.0, 2.0)])
+    sweep = benchmark(tuning_power_vs_pitch, pitches, n_rings=10)
+
+    ted_power = sweep["ted_power_per_mr_w"]
+    naive_power = sweep["naive_power_per_mr_w"]
+    assert ted_power.shape == pitches.shape
+    # The TED minimum sits at the paper's ~5 um operating point.
+    optimal = float(pitches[int(np.argmin(ted_power))])
+    assert 3.0 <= optimal <= 8.0
+    # Collective tuning never costs more than naive tuning.
+    assert np.all(naive_power >= ted_power - 1e-12)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -61,9 +62,14 @@ class VDPDeviceInventory:
         return self.n_arms * self.mrs_per_arm
 
 
-@dataclass
+@dataclass(frozen=True)
 class VDPUnit:
     """One vector-dot-product unit.
+
+    Frozen: the optics/area paths cache derived objects (splitter tree, MR
+    bank) on first access, so reassigning geometry fields after construction
+    raises instead of silently returning stale figures -- build a new unit
+    to change geometry.
 
     Parameters
     ----------
@@ -133,6 +139,25 @@ class VDPUnit:
     # ------------------------------------------------------------------ #
     # Optics
     # ------------------------------------------------------------------ #
+    @cached_property
+    def _splitter_tree(self) -> SplitterTree:
+        """Splitter tree fanning the WDM signal to the arms (built once).
+
+        Cached because the optics and area paths are evaluated repeatedly
+        during design-space sweeps; the dataclass is frozen, so the cache
+        cannot go stale.
+        """
+        return SplitterTree(self.n_arms, self.losses.splitter_db)
+
+    @cached_property
+    def _arm_bank(self) -> MRBank:
+        """Prototype MR bank of one arm (built once, geometry frozen)."""
+        return MRBank(
+            n_mrs=self.wavelengths_per_arm,
+            mr_pitch_um=self.mr_pitch_um,
+            losses=self.losses,
+        )
+
     def arm_path_loss_db(self) -> float:
         """Worst-case optical loss from the unit input to an arm's detector.
 
@@ -141,14 +166,8 @@ class VDPUnit:
         waveguide segments (whose length depends on the ring pitch allowed by
         the thermal-crosstalk strategy).
         """
-        splitter = SplitterTree(self.n_arms, self.losses.splitter_db)
-        bank = MRBank(
-            n_mrs=self.wavelengths_per_arm,
-            mr_pitch_um=self.mr_pitch_um,
-            losses=self.losses,
-        )
         # Two banks per arm: activation imprint + weighting.
-        return splitter.insertion_loss_db + 2.0 * bank.insertion_loss_db
+        return self._splitter_tree.insertion_loss_db + 2.0 * self._arm_bank.insertion_loss_db
 
     def accumulation_path_loss_db(self) -> float:
         """Loss of the partial-sum accumulation path (VCSEL -> combiner -> PD)."""
@@ -229,12 +248,7 @@ class VDPUnit:
         VCSEL macros, and a fixed overhead for waveguide routing and the
         splitter/combiner trees.
         """
-        bank = MRBank(
-            n_mrs=self.wavelengths_per_arm,
-            mr_pitch_um=self.mr_pitch_um,
-            losses=self.losses,
-        )
-        bank_area_um2 = bank.footprint_um2
+        bank_area_um2 = self._arm_bank.footprint_um2
         pd_area_um2 = 30.0 * 30.0
         tia_area_um2 = 50.0 * 50.0
         vcsel_area_um2 = 40.0 * 40.0
@@ -277,8 +291,12 @@ class VDPUnit:
         if resolution_bits is not None:
             weights = quantize_array(weights, resolution_bits)
             activations = quantize_array(activations, resolution_bits)
-        total = 0.0
-        for start in range(0, weights.size, self.mrs_per_bank):
-            stop = start + self.mrs_per_bank
-            total += float(np.dot(weights[start:stop], activations[start:stop]))
-        return total
+        # Pad-and-reshape partial-sum reduction: each row of the reshaped
+        # product array is one arm's chunk (balanced-photodetector sum), and
+        # the row sums are accumulated like the final photodetector does.
+        products = weights * activations
+        n_chunks = -(-products.size // self.mrs_per_bank)
+        padded = np.zeros(n_chunks * self.mrs_per_bank)
+        padded[: products.size] = products
+        partial_sums = padded.reshape(n_chunks, self.mrs_per_bank).sum(axis=1)
+        return float(partial_sums.sum())

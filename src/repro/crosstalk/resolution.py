@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -198,16 +199,20 @@ def resolution_vs_mrs_per_bank(
         Keys ``n_mrs``, ``resolution_bits``, ``worst_case_noise``.
     """
     check_positive_int("max_mrs", max_mrs)
+    # Imported here (not at module top): the sim package transitively imports
+    # this module via the baselines, and the sweep module is dependency-free.
+    from repro.sim.sweep import run_sweep
+
     sizes = np.arange(1, max_mrs + 1)
-    bits = np.empty(sizes.size, dtype=int)
-    noise = np.empty(sizes.size, dtype=float)
-    for i, n in enumerate(sizes):
-        report = crosslight_bank_resolution(
-            n_mrs_per_bank=int(n),
+    sweep = run_sweep(
+        partial(
+            crosslight_bank_resolution,
             fsr_nm=fsr_nm,
             quality_factor=quality_factor,
             calibration_rejection_db=calibration_rejection_db,
-        )
-        bits[i] = report.resolution_bits
-        noise[i] = report.effective_noise
+        ),
+        [{"n_mrs_per_bank": int(n)} for n in sizes],
+    )
+    bits = sweep.value_array(lambda report: report.resolution_bits).astype(int)
+    noise = sweep.value_array(lambda report: report.effective_noise).astype(float)
     return {"n_mrs": sizes, "resolution_bits": bits, "worst_case_noise": noise}

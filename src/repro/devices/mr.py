@@ -37,7 +37,7 @@ from repro.devices.constants import (
     SILICON_THERMO_OPTIC_COEFF_PER_K,
     MRDesignParameters,
 )
-from repro.utils.validation import check_in_range, check_positive
+from repro.utils.validation import check_positive
 
 
 @dataclass
@@ -196,7 +196,7 @@ class MicroringResonator:
         delta_neff = SILICON_THERMO_OPTIC_COEFF_PER_K * delta_t_kelvin
         return self.shift_for_index_change(delta_neff)
 
-    def detuning_for_transmission(self, target_transmission: float) -> float:
+    def detuning_for_transmission(self, target_transmission) -> float | np.ndarray:
         """Detuning (nm) from resonance needed to realise a target weight.
 
         Inverts the Lorentzian: a target through-port transmission ``w`` in
@@ -210,29 +210,45 @@ class MicroringResonator:
         Parameters
         ----------
         target_transmission:
-            Desired linear transmission (the weight magnitude), in [0, 1].
-            Values below the extinction-limited minimum are clamped to
-            ``T_min``; a value of exactly 1.0 returns half an FSR (fully
-            parked off resonance).
+            Desired linear transmission (the weight magnitude), scalar or
+            array, in [0, 1].  Values below the extinction-limited minimum
+            are clamped to ``T_min``; a value of exactly 1.0 returns half an
+            FSR (fully parked off resonance).
 
         Returns
         -------
-        float
-            Required absolute detuning in nanometres.
+        float or numpy.ndarray
+            Required absolute detuning in nanometres, matching the shape of
+            the input (a Python float for scalar input).
         """
-        target = check_in_range("target_transmission", target_transmission, 0.0, 1.0)
+        target = np.asarray(target_transmission, dtype=float)
+        if np.any(~np.isfinite(target)):
+            raise ValueError("target_transmission must be finite")
+        if np.any(target < 0.0) or np.any(target > 1.0):
+            raise ValueError(
+                f"target_transmission must be in [0.0, 1.0], got {target_transmission!r}"
+            )
         t_min = self.min_transmission
-        if target <= t_min:
-            return 0.0
-        if target >= 1.0:
-            return self.fsr_nm / 2.0
         half_width = self.fwhm_nm / 2.0
-        detuning = half_width * math.sqrt((target - t_min) / (1.0 - target))
-        return min(detuning, self.fsr_nm / 2.0)
+        half_fsr = self.fsr_nm / 2.0
+        # The raw inversion diverges at target == 1; the divide is silenced
+        # and the branch is overridden to half an FSR below.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            raw = half_width * np.sqrt(
+                np.maximum(target - t_min, 0.0) / (1.0 - target)
+            )
+        detuning = np.where(
+            target <= t_min,
+            0.0,
+            np.where(target >= 1.0, half_fsr, np.minimum(raw, half_fsr)),
+        )
+        if target.ndim == 0:
+            return float(detuning)
+        return detuning
 
     def transmission_error_from_drift(
-        self, target_transmission: float, residual_drift_nm: float
-    ) -> float:
+        self, target_transmission, residual_drift_nm
+    ) -> float | np.ndarray:
         """Weight error caused by an uncompensated resonance drift.
 
         The tuner sets the detuning for ``target_transmission`` assuming the
@@ -241,15 +257,23 @@ class MicroringResonator:
         and changes the realised transmission.  The returned value is the
         absolute difference between realised and target transmission, which
         upper-bounds the imprinted-weight error.
+
+        Both arguments accept scalars or arrays and broadcast against each
+        other, so a whole weight tensor can be evaluated in one call (the
+        photonic-inference hot path).  Scalar inputs return a Python float.
         """
-        target = check_in_range("target_transmission", target_transmission, 0.0, 1.0)
+        target = np.asarray(target_transmission, dtype=float)
+        drift = np.asarray(residual_drift_nm, dtype=float)
         nominal_detuning = self.detuning_for_transmission(target)
-        actual_detuning = nominal_detuning + float(residual_drift_nm)
+        actual_detuning = np.asarray(nominal_detuning) + drift
         half_width = self.fwhm_nm / 2.0
         lorentzian = 1.0 / (1.0 + (actual_detuning / half_width) ** 2)
         realised = 1.0 - (1.0 - self.min_transmission) * lorentzian
-        ideal = max(target, self.min_transmission)
-        return abs(realised - ideal)
+        ideal = np.maximum(target, self.min_transmission)
+        error = np.abs(realised - ideal)
+        if target.ndim == 0 and drift.ndim == 0:
+            return float(error)
+        return error
 
     # ------------------------------------------------------------------ #
     # Geometry

@@ -129,13 +129,14 @@ class MRBank:
             )
         if np.any(weights < 0) or np.any(weights > 1):
             raise ValueError("weight magnitudes must lie in [0, 1]")
-        detunings = np.array(
+        if self._rings_are_uniform():
+            return np.atleast_1d(self._rings[0].detuning_for_transmission(weights))
+        return np.array(
             [
                 self._rings[i].detuning_for_transmission(float(w))
                 for i, w in enumerate(weights)
             ]
         )
-        return detunings
 
     def apply_weights(self, input_powers_w, weights) -> np.ndarray:
         """Element-wise product of optical input powers with weights.
@@ -159,6 +160,10 @@ class MRBank:
     def weight_error_from_drift(self, weights, residual_drift_nm: float) -> np.ndarray:
         """Per-element weight error caused by uncompensated resonance drift."""
         weights = np.asarray(weights, dtype=float)
+        if self._rings_are_uniform():
+            return np.atleast_1d(
+                self._rings[0].transmission_error_from_drift(weights, residual_drift_nm)
+            )
         return np.array(
             [
                 self._rings[i % self.n_mrs].transmission_error_from_drift(
@@ -166,4 +171,20 @@ class MRBank:
                 )
                 for i, w in enumerate(weights)
             ]
+        )
+
+    def _rings_are_uniform(self) -> bool:
+        """Whether every ring still shares the first ring's full state.
+
+        Rings are constructed identical, so the vectorized single-ring path
+        is exact; it is bypassed if a caller has mutated any individual
+        ring's state (detuning, extinction ratio, design) through
+        :attr:`rings`, in which case the per-ring loop preserves it.
+        """
+        template = self._rings[0]
+        return all(
+            ring.resonance_shift_nm == template.resonance_shift_nm
+            and ring.extinction_ratio_db == template.extinction_ratio_db
+            and ring.design == template.design
+            for ring in self._rings
         )

@@ -31,6 +31,7 @@ from repro.nn.datasets import sign_mnist_synthetic
 from repro.nn.zoo import build_model
 from repro.sim.photonic_inference import PhotonicInferenceResult, accuracy_vs_residual_drift
 from repro.sim.results import format_table
+from repro.sim.sweep import run_sweep
 
 
 @dataclass(frozen=True)
@@ -95,21 +96,24 @@ def wavelength_reuse_ablation(vector_size: int = 150) -> WavelengthReuseAblation
     )
 
 
+def _bank_size_point(mrs_per_bank: int) -> BankSizeAblationPoint:
+    """Evaluate one bank size of the MRs-per-bank ablation."""
+    unit = VDPUnit(
+        vector_size=mrs_per_bank, mrs_per_bank=mrs_per_bank, mr_pitch_um=5.0
+    )
+    resolution = crosslight_bank_resolution(n_mrs_per_bank=mrs_per_bank)
+    return BankSizeAblationPoint(
+        mrs_per_bank=mrs_per_bank,
+        resolution_bits=resolution.resolution_bits,
+        laser_power_w=unit.laser_power_w(),
+        bank_area_mm2=unit.area_mm2(),
+    )
+
+
 def bank_size_ablation(sizes=(5, 10, 15, 20, 25, 30)) -> tuple[BankSizeAblationPoint, ...]:
     """Sweep MRs per bank: resolution vs laser power vs bank area."""
-    points = []
-    for size in sizes:
-        unit = VDPUnit(vector_size=int(size), mrs_per_bank=int(size), mr_pitch_um=5.0)
-        resolution = crosslight_bank_resolution(n_mrs_per_bank=int(size))
-        points.append(
-            BankSizeAblationPoint(
-                mrs_per_bank=int(size),
-                resolution_bits=resolution.resolution_bits,
-                laser_power_w=unit.laser_power_w(),
-                bank_area_mm2=unit.area_mm2(),
-            )
-        )
-    return tuple(points)
+    sweep = run_sweep(_bank_size_point, [{"mrs_per_bank": int(size)} for size in sizes])
+    return tuple(sweep.values)
 
 
 def tuning_latency_ablation(vector_size: int = 20) -> TuningLatencyAblation:

@@ -6,6 +6,8 @@ drift from 7.1 nm to 2.1 nm -- a 70 % reduction -- while keeping insertion
 loss and Q-factor acceptable.  This driver reruns the exploration through the
 calibrated FPV sensitivity model and reports the drift landscape, the
 selected design, and the drift reduction relative to the conventional design.
+The width grid is evaluated on the unified sweep engine via
+:func:`repro.variations.design_space.explore_design_space`.
 """
 
 from __future__ import annotations

@@ -11,7 +11,10 @@ distance between adjacent MRs:
 
 This driver regenerates both series from the thermal-crosstalk model (whose
 decay length is calibrated against the finite-difference heat solver that
-stands in for Lumerical HEAT) and the TED solver.
+stands in for Lumerical HEAT) and the TED solver.  The pitch sweep runs on
+the unified sweep engine (:mod:`repro.sim.sweep`) via
+:func:`repro.tuning.ted.tuning_power_vs_pitch`, with crosstalk matrices and
+TED eigendecompositions memoized per ``(n_rings, pitch)``.
 """
 
 from __future__ import annotations

@@ -18,6 +18,7 @@ a light quantization-aware fine-tuning pass at low bit widths.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from repro.nn.model import SiameseModel
 from repro.nn.quantization import QuantizedModelWrapper, evaluate_quantized_accuracy
 from repro.nn.zoo import build_model, model_spec
 from repro.sim.results import format_table
+from repro.sim.sweep import run_sweep
 
 #: Resolution sweep of the paper's Fig. 5.
 DEFAULT_BITS = (1, 2, 4, 6, 8, 12, 16)
@@ -120,10 +122,17 @@ def run(
     n_test: int = 200,
 ) -> list[AccuracyCurve]:
     """Accuracy-vs-resolution curves for the requested models."""
-    return [
-        run_for_model(index, bits_sweep, epochs=epochs, n_train=n_train, n_test=n_test)
-        for index in model_indices
-    ]
+    sweep = run_sweep(
+        partial(
+            run_for_model,
+            bits_sweep=tuple(bits_sweep),
+            epochs=epochs,
+            n_train=n_train,
+            n_test=n_test,
+        ),
+        [{"model_index": int(index)} for index in model_indices],
+    )
+    return list(sweep.values)
 
 
 def main() -> str:

@@ -16,12 +16,14 @@ area envelope.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.arch.accelerator import CrossLightAccelerator
 from repro.arch.config import CrossLightConfig, design_space_geometries
 from repro.nn.zoo import build_all_models
 from repro.sim.simulator import simulate_models
 from repro.sim.results import format_table
+from repro.sim.sweep import run_sweep
 
 #: Area envelope applied when selecting the best configuration (mm^2).
 DEFAULT_AREA_BUDGET_MM2 = 25.0
@@ -84,33 +86,57 @@ class Fig6Result:
         raise KeyError(f"geometry {geometry} was not part of the sweep")
 
 
+def _evaluate_geometry(geometry, base: CrossLightConfig, models) -> DesignPoint:
+    """Evaluate one (N, K, n, m) geometry on the Table-I workloads.
+
+    Module-level so that :func:`run` can fan geometries out to a process
+    pool (``n_workers > 1``) via the sweep engine.
+    """
+    n_size, k_size, n_units, m_units = geometry
+    config = base.with_geometry(n_size, k_size, n_units, m_units)
+    accelerator = CrossLightAccelerator(config=config)
+    aggregate = simulate_models(accelerator, models)
+    return DesignPoint(
+        conv_vector_size=n_size,
+        fc_vector_size=k_size,
+        n_conv_units=n_units,
+        n_fc_units=m_units,
+        avg_fps=aggregate.avg_fps,
+        avg_epb_pj_per_bit=aggregate.avg_epb_pj_per_bit,
+        area_mm2=accelerator.area_mm2(),
+        power_w=accelerator.total_power_w,
+    )
+
+
 def run(
     geometries=None,
     area_budget_mm2: float = DEFAULT_AREA_BUDGET_MM2,
     models=None,
+    n_workers: int | None = None,
 ) -> Fig6Result:
-    """Evaluate every geometry of the sweep on the Table-I workloads."""
+    """Evaluate every geometry of the sweep on the Table-I workloads.
+
+    Parameters
+    ----------
+    geometries:
+        (N, K, n, m) tuples to evaluate; defaults to the full paper sweep.
+    area_budget_mm2:
+        Area envelope applied when selecting the best configuration.
+    models:
+        Workload models; defaults to the four full-size Table-I models.
+    n_workers:
+        Passed to the sweep engine: ``> 1`` evaluates the (independent)
+        geometries on a process pool, ``None``/``0``/``1`` run serially.
+    """
     geometries = list(geometries) if geometries is not None else list(design_space_geometries())
     models = models or build_all_models()
     base = CrossLightConfig.cross_opt_ted()
-    points = []
-    for (n_size, k_size, n_units, m_units) in geometries:
-        config = base.with_geometry(n_size, k_size, n_units, m_units)
-        accelerator = CrossLightAccelerator(config=config)
-        aggregate = simulate_models(accelerator, models)
-        points.append(
-            DesignPoint(
-                conv_vector_size=n_size,
-                fc_vector_size=k_size,
-                n_conv_units=n_units,
-                n_fc_units=m_units,
-                avg_fps=aggregate.avg_fps,
-                avg_epb_pj_per_bit=aggregate.avg_epb_pj_per_bit,
-                area_mm2=accelerator.area_mm2(),
-                power_w=accelerator.total_power_w,
-            )
-        )
-    return Fig6Result(points=tuple(points), area_budget_mm2=area_budget_mm2)
+    sweep = run_sweep(
+        partial(_evaluate_geometry, base=base, models=models),
+        [{"geometry": tuple(geometry)} for geometry in geometries],
+        n_workers=n_workers,
+    )
+    return Fig6Result(points=tuple(sweep.values), area_budget_mm2=area_budget_mm2)
 
 
 def main(max_rows: int = 20) -> str:

@@ -5,7 +5,9 @@ optimized MR banks and concludes that CrossLight sustains 16-bit weight
 resolution for up to 15 MRs per bank, whereas DEAP-CNN reaches only ~4 bits
 and HolyLight ~2 bits per microdisk (ganging 8 microdisks for 16-bit
 weights).  This driver reruns the analysis for all three designs and sweeps
-the CrossLight bank size to show where the 16-bit capability ends.
+the CrossLight bank size to show where the 16-bit capability ends.  The
+bank-size sweep runs on the unified sweep engine via
+:func:`repro.crosstalk.resolution.resolution_vs_mrs_per_bank`.
 """
 
 from __future__ import annotations

@@ -6,6 +6,9 @@
   aggregates Table III-style metrics.
 * :mod:`repro.sim.photonic_inference` -- functional inference under photonic
   quantization and residual-drift weight errors.
+* :mod:`repro.sim.sweep` -- the unified parameter-sweep engine (grid/zip
+  spaces, per-point records, optional process-pool parallelism, memoization)
+  every experiment driver runs on.
 * :mod:`repro.sim.results` -- plain-text table formatting for reports.
 """
 
@@ -13,6 +16,8 @@ from repro.sim.photonic_inference import (
     PhotonicInferenceEngine,
     PhotonicInferenceResult,
     accuracy_vs_residual_drift,
+    clear_ideal_accuracy_cache,
+    ideal_model_accuracy,
 )
 from repro.sim.results import format_ratio, format_table
 from repro.sim.simulator import (
@@ -21,6 +26,14 @@ from repro.sim.simulator import (
     default_accelerators,
     simulate_model,
     simulate_models,
+)
+from repro.sim.sweep import (
+    SweepPoint,
+    SweepResult,
+    grid,
+    memoize,
+    run_sweep,
+    zipped,
 )
 from repro.sim.tracer import (
     WorkloadSummary,
@@ -33,7 +46,15 @@ __all__ = [
     "ComparisonResult",
     "PhotonicInferenceEngine",
     "PhotonicInferenceResult",
+    "SweepPoint",
+    "SweepResult",
     "accuracy_vs_residual_drift",
+    "clear_ideal_accuracy_cache",
+    "grid",
+    "ideal_model_accuracy",
+    "memoize",
+    "run_sweep",
+    "zipped",
     "WorkloadSummary",
     "accelerated_workloads",
     "compare_accelerators",

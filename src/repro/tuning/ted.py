@@ -32,7 +32,35 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.variations.thermal import ThermalCrosstalkModel
+from repro.utils.cache import memoize
 from repro.utils.validation import check_positive, check_positive_int
+
+
+@memoize(maxsize=256)
+def _bank_eigensystem(
+    crosstalk: ThermalCrosstalkModel, n_rings: int, pitch_um: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized eigendecomposition of a bank's thermal-crosstalk matrix.
+
+    A pitch sweep re-solves the same bank geometry at every target-phase
+    vector, and the design-space sweeps revisit the same ``(n_rings, pitch)``
+    pairs across configurations; factorising the SPD crosstalk matrix once
+    per pair and solving through the eigenbasis amortises the linear-algebra
+    cost across the whole sweep.  Arrays are shared by reference and hence
+    marked read-only.
+    """
+    matrix = crosstalk.crosstalk_matrix(n_rings, pitch_um)
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    eigenvalues.setflags(write=False)
+    eigenvectors.setflags(write=False)
+    return eigenvalues, eigenvectors
+
+
+def _solve_spd(
+    eigenvalues: np.ndarray, eigenvectors: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Solve ``K x = rhs`` through the cached eigenbasis of the SPD ``K``."""
+    return eigenvectors @ ((eigenvectors.T @ rhs) / eigenvalues)
 
 
 @dataclass(frozen=True)
@@ -87,10 +115,11 @@ class ThermalEigenmodeDecomposition:
         expensive to realise with tightly coupled heaters; TED's power
         advantage comes from expressing the required correction mostly in the
         cheap, large-eigenvalue (common-mode) directions.
+
+        The decomposition is memoized per ``(crosstalk model, n_rings,
+        pitch)`` and the returned arrays are read-only.
         """
-        matrix = self.crosstalk.crosstalk_matrix(n_rings, pitch_um)
-        eigenvalues, eigenvectors = np.linalg.eigh(matrix)
-        return eigenvalues, eigenvectors
+        return _bank_eigensystem(self.crosstalk, int(n_rings), float(pitch_um))
 
     # ------------------------------------------------------------------ #
     # Power solutions
@@ -127,11 +156,16 @@ class ThermalEigenmodeDecomposition:
 
         eta = self.crosstalk.self_heating_phase_per_watt
         matrix = self.crosstalk.crosstalk_matrix(phases.size, pitch_um)
+        eigenvalues, eigenvectors = _bank_eigensystem(
+            self.crosstalk, phases.size, float(pitch_um)
+        )
 
-        base_powers = np.linalg.solve(matrix, phases / eta)
+        base_powers = _solve_spd(eigenvalues, eigenvectors, phases / eta)
         if np.any(base_powers < 0):
             # Sensitivity of the power vector to a uniform extra phase alpha.
-            uniform_sensitivity = np.linalg.solve(matrix, np.ones_like(phases) / eta)
+            uniform_sensitivity = _solve_spd(
+                eigenvalues, eigenvectors, np.ones_like(phases) / eta
+            )
             candidates = [
                 -p / s
                 for p, s in zip(base_powers, uniform_sensitivity)
@@ -234,12 +268,16 @@ def tuning_power_vs_pitch(
     )
     target_phases = np.clip(phase_per_ring_rad + differential, 0.0, None)
 
-    ted_power = np.empty_like(pitches)
-    naive_power = np.empty_like(pitches)
-    for i, pitch in enumerate(pitches):
-        result = ted.solve(target_phases, float(pitch))
-        ted_power[i] = result.ted_total_power_w / n_rings
-        naive_power[i] = result.naive_total_power_w / n_rings
+    # Imported here (not at module top) because the sim package depends on
+    # the tuning layer; the sweep module itself is dependency-free.
+    from repro.sim.sweep import run_sweep
+
+    sweep = run_sweep(
+        lambda pitch_um: ted.solve(target_phases, float(pitch_um)),
+        [{"pitch_um": float(pitch)} for pitch in pitches],
+    )
+    ted_power = sweep.value_array(lambda r: r.ted_total_power_w / n_rings)
+    naive_power = sweep.value_array(lambda r: r.naive_total_power_w / n_rings)
 
     return {
         "pitch_um": pitches,

@@ -7,8 +7,11 @@ subpackage builds on:
   power/loss accounting (dB <-> linear, dBm <-> mW, wavelength <-> frequency).
 * :mod:`repro.utils.validation` -- argument-checking helpers that raise
   consistent, informative errors.
+* :mod:`repro.utils.cache` -- thread-safe LRU memoization for expensive
+  shared sub-results (crosstalk matrices, eigendecompositions, baselines).
 """
 
+from repro.utils.cache import CacheInfo, memoize
 from repro.utils.units import (
     C_UM_PER_S,
     db_to_linear,
@@ -31,6 +34,8 @@ from repro.utils.validation import (
 
 __all__ = [
     "C_UM_PER_S",
+    "CacheInfo",
+    "memoize",
     "db_to_linear",
     "dbm_to_mw",
     "dbm_to_watt",

@@ -16,6 +16,7 @@ and a Q-factor proxy, then ranks design points exactly as the paper does.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -102,12 +103,15 @@ def explore_design_space(
     With the default sweep ranges this is the 400 nm / 800 nm point, matching
     the paper.
     """
-    candidates = [
-        evaluate_design(iw, rw, variation)
-        for iw in input_widths_nm
-        for rw in ring_widths_nm
-    ]
-    return sorted(candidates, key=lambda c: c.figure_of_merit)
+    # Imported here (not at module top): the sim package transitively imports
+    # the variations layer, and the sweep module itself is dependency-free.
+    from repro.sim.sweep import grid, run_sweep
+
+    sweep = run_sweep(
+        partial(evaluate_design, variation=variation),
+        grid(input_width_nm=input_widths_nm, ring_width_nm=ring_widths_nm),
+    )
+    return sorted(sweep.values, key=lambda c: c.figure_of_merit)
 
 
 def best_design(

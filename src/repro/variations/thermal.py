@@ -23,7 +23,29 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.cache import memoize
 from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+
+@memoize(maxsize=256)
+def _crosstalk_matrix_cached(
+    model: "ThermalCrosstalkModel", n_rings: int, pitch_um: float
+) -> np.ndarray:
+    """Crosstalk matrix of an equally-spaced bank, shared across sweeps.
+
+    Pitch and design-space sweeps evaluate many configurations over the same
+    handful of ``(n_rings, pitch)`` pairs, so the matrix (and everything
+    derived from it, such as the TED eigendecomposition) is memoized here.
+    The coupling law stays in :meth:`ThermalCrosstalkModel.coupling` (the
+    model instance is the cache key, so equal models share entries while
+    subclasses with overridden laws do not).  The returned array is marked
+    read-only because it is shared by reference.
+    """
+    indices = np.arange(n_rings, dtype=float)
+    distances = np.abs(indices[:, None] - indices[None, :]) * pitch_um
+    matrix = np.asarray(model.coupling(distances), dtype=float)
+    matrix.setflags(write=False)
+    return matrix
 
 
 @dataclass(frozen=True)
@@ -72,12 +94,13 @@ class ThermalCrosstalkModel:
         desired phase vector ``phi`` are ``K^-1 phi`` (scaled by the
         self-heating efficiency), and its eigen-decomposition is what the
         thermal eigenmode method exploits.
+
+        The matrix is memoized per ``(model, n_rings, pitch)`` and returned
+        read-only; copy it before mutating.
         """
         check_positive_int("n_rings", n_rings)
         check_positive("pitch_um", pitch_um)
-        indices = np.arange(n_rings, dtype=float)
-        distances = np.abs(indices[:, None] - indices[None, :]) * pitch_um
-        return self.coupling(distances)
+        return _crosstalk_matrix_cached(self, int(n_rings), float(pitch_um))
 
     def phase_from_heater_powers(
         self, heater_powers_w: np.ndarray, pitch_um: float
