@@ -34,8 +34,50 @@ Quick start::
     accelerator = CrossLightAccelerator.from_variant("cross_opt_ted")
     report = simulate_model(accelerator, build_model(1))
     print(report.fps, report.epb_pj_per_bit)
+
+Accuracy under a custom stack of non-idealities::
+
+    from repro import NoiseStack, QuantizationChannel, FPVDriftChannel
+    from repro import monte_carlo_accuracy
+
+    stack = NoiseStack([QuantizationChannel(16), FPVDriftChannel()])
+    result = monte_carlo_accuracy(model, test_x, test_y, stack, seeds=8)
+    print(result.mean_accuracy, result.std_accuracy)
 """
 
-__version__ = "1.0.0"
+from repro.sim.noise import (
+    FPVDriftChannel,
+    InterChannelCrosstalkChannel,
+    NoiseChannel,
+    NoiseStack,
+    QuantizationChannel,
+    ResidualDriftChannel,
+    ThermalCrosstalkChannel,
+    default_noise_stack,
+)
+from repro.sim.photonic_inference import (
+    MonteCarloAccuracy,
+    PhotonicInferenceEngine,
+    PhotonicInferenceResult,
+    accuracy_vs_residual_drift,
+    monte_carlo_accuracy,
+)
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "FPVDriftChannel",
+    "InterChannelCrosstalkChannel",
+    "MonteCarloAccuracy",
+    "NoiseChannel",
+    "NoiseStack",
+    "PhotonicInferenceEngine",
+    "PhotonicInferenceResult",
+    "QuantizationChannel",
+    "ResidualDriftChannel",
+    "ThermalCrosstalkChannel",
+    "__version__",
+    "accuracy_vs_residual_drift",
+    "default_noise_stack",
+    "monte_carlo_accuracy",
+]

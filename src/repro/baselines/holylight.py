@@ -27,8 +27,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.arch.accelerator import PhotonicAccelerator
 from repro.arch.power import PowerBreakdown
 from repro.crosstalk.resolution import holylight_microdisk_resolution

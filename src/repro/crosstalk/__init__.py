@@ -8,6 +8,7 @@
 """
 
 from repro.crosstalk.interchannel import (
+    bank_crosstalk_matrix,
     channel_wavelengths_nm,
     crosstalk_matrix,
     lorentzian_crosstalk,
@@ -26,6 +27,7 @@ from repro.crosstalk.resolution import (
 __all__ = [
     "ResolutionReport",
     "analyze_bank_resolution",
+    "bank_crosstalk_matrix",
     "channel_wavelengths_nm",
     "crosslight_bank_resolution",
     "crosstalk_matrix",

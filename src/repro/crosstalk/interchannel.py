@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.cache import memoize
 from repro.utils.validation import check_positive, check_positive_int
 
 
@@ -79,6 +80,29 @@ def crosstalk_matrix(wavelengths_nm, quality_factor: float) -> np.ndarray:
     separation = wavelengths[:, None] - wavelengths[None, :]
     matrix = delta**2 / (separation**2 + delta**2)
     np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+@memoize(maxsize=64)
+def bank_crosstalk_matrix(
+    n_channels: int,
+    channel_spacing_nm: float,
+    quality_factor: float,
+    start_nm: float = 1550.0,
+) -> np.ndarray:
+    """Memoized phi-matrix of an equally spaced MR bank (paper Eq. 8).
+
+    The inter-channel noise channel of the inference noise stack
+    (:mod:`repro.sim.noise`) mixes every bank of a weight tensor through the
+    same phi-matrix, and Monte-Carlo sweeps re-apply it thousands of times,
+    so the matrix is cached per ``(n_channels, spacing, Q, start)`` and
+    returned read-only (copy before mutating).
+    """
+    matrix = crosstalk_matrix(
+        channel_wavelengths_nm(n_channels, channel_spacing_nm, start_nm),
+        quality_factor,
+    )
+    matrix.setflags(write=False)
     return matrix
 
 

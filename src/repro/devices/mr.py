@@ -246,17 +246,41 @@ class MicroringResonator:
             return float(detuning)
         return detuning
 
+    def realised_transmission(
+        self, target_transmission, drift_nm
+    ) -> float | np.ndarray:
+        """Transmission actually realised when the operating point drifts.
+
+        The tuner sets the detuning for ``target_transmission`` assuming the
+        resonance is at its calibrated position; a *signed* resonance drift of
+        ``drift_nm`` moves the operating point along the Lorentzian, so the
+        realised transmission differs from the target.  Positive drifts push
+        the operating point further from resonance (towards transmission 1),
+        negative drifts pull it back through the notch.
+
+        Both arguments accept scalars or arrays and broadcast against each
+        other, so a whole weight tensor can be evaluated in one call (the
+        noise-channel hot path).  Scalar inputs return a Python float.
+        """
+        target = np.asarray(target_transmission, dtype=float)
+        drift = np.asarray(drift_nm, dtype=float)
+        nominal_detuning = self.detuning_for_transmission(target)
+        actual_detuning = np.asarray(nominal_detuning) + drift
+        half_width = self.fwhm_nm / 2.0
+        lorentzian = 1.0 / (1.0 + (actual_detuning / half_width) ** 2)
+        realised = 1.0 - (1.0 - self.min_transmission) * lorentzian
+        if target.ndim == 0 and drift.ndim == 0:
+            return float(realised)
+        return realised
+
     def transmission_error_from_drift(
         self, target_transmission, residual_drift_nm
     ) -> float | np.ndarray:
         """Weight error caused by an uncompensated resonance drift.
 
-        The tuner sets the detuning for ``target_transmission`` assuming the
-        resonance is at its calibrated position; a residual drift of
-        ``residual_drift_nm`` moves the operating point along the Lorentzian
-        and changes the realised transmission.  The returned value is the
-        absolute difference between realised and target transmission, which
-        upper-bounds the imprinted-weight error.
+        The returned value is the absolute difference between the
+        :meth:`realised_transmission` and the (extinction-clamped) target
+        transmission, which upper-bounds the imprinted-weight error.
 
         Both arguments accept scalars or arrays and broadcast against each
         other, so a whole weight tensor can be evaluated in one call (the
@@ -264,11 +288,7 @@ class MicroringResonator:
         """
         target = np.asarray(target_transmission, dtype=float)
         drift = np.asarray(residual_drift_nm, dtype=float)
-        nominal_detuning = self.detuning_for_transmission(target)
-        actual_detuning = np.asarray(nominal_detuning) + drift
-        half_width = self.fwhm_nm / 2.0
-        lorentzian = 1.0 / (1.0 + (actual_detuning / half_width) ** 2)
-        realised = 1.0 - (1.0 - self.min_transmission) * lorentzian
+        realised = np.asarray(self.realised_transmission(target, drift))
         ideal = np.maximum(target, self.min_transmission)
         error = np.abs(realised - ideal)
         if target.ndim == 0 and drift.ndim == 0:

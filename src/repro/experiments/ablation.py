@@ -14,22 +14,31 @@ extension of the evaluation:
 * **Hybrid tuning latency** (Section IV.B) -- per-operation cycle time with
   EO-based weight imprinting versus thermo-optic imprinting.
 * **Residual-drift accuracy** -- inference accuracy of a trained compact
-  model as a function of the uncompensated resonance drift, connecting the
-  device/circuit optimizations to model accuracy.
+  model as a function of the uncompensated resonance drift (running through
+  the default two-channel noise stack of :mod:`repro.sim.noise`), connecting
+  the device/circuit optimizations to model accuracy.
+* **FPV Monte-Carlo accuracy** -- the same model under seeded wafer draws of
+  the FPV drift channel, comparing compensated against uncompensated
+  process variation (the accuracy-side view of the paper's tuning claim).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.arch.vdp import VDPUnit
 from repro.crosstalk.resolution import crosslight_bank_resolution
 from repro.devices.constants import EO_TUNING, TO_TUNING
 from repro.nn.datasets import sign_mnist_synthetic
 from repro.nn.zoo import build_model
-from repro.sim.photonic_inference import PhotonicInferenceResult, accuracy_vs_residual_drift
+from repro.sim.noise import FPVDriftChannel, NoiseStack, QuantizationChannel
+from repro.sim.photonic_inference import (
+    MonteCarloAccuracy,
+    PhotonicInferenceResult,
+    accuracy_vs_residual_drift,
+    ideal_model_accuracy,
+    monte_carlo_accuracy,
+)
 from repro.sim.results import format_table
 from repro.sim.sweep import run_sweep
 
@@ -72,6 +81,19 @@ class TuningLatencyAblation:
 
 
 @dataclass(frozen=True)
+class FPVMonteCarloAblation:
+    """Monte-Carlo accuracy with uncompensated vs tuning-compensated FPV."""
+
+    uncompensated: MonteCarloAccuracy
+    compensated: MonteCarloAccuracy
+
+    @property
+    def accuracy_recovered(self) -> float:
+        """Mean accuracy the tuning loop wins back from raw FPV drift."""
+        return self.compensated.mean_accuracy - self.uncompensated.mean_accuracy
+
+
+@dataclass(frozen=True)
 class AblationResult:
     """All ablation studies bundled together."""
 
@@ -79,6 +101,7 @@ class AblationResult:
     bank_size_sweep: tuple[BankSizeAblationPoint, ...]
     tuning_latency: TuningLatencyAblation
     drift_accuracy: tuple[PhotonicInferenceResult, ...]
+    fpv_monte_carlo: FPVMonteCarloAblation | None = None
 
 
 def wavelength_reuse_ablation(vector_size: int = 150) -> WavelengthReuseAblation:
@@ -140,22 +163,104 @@ def drift_accuracy_ablation(
     )
 
 
-def run(include_drift_accuracy: bool = True) -> AblationResult:
-    """Run every ablation study (the drift-accuracy one trains a model)."""
+def fpv_monte_carlo_ablation(
+    seeds=8,
+    resolution_bits: int = 16,
+    compensated_residual_fraction: float = 0.01,
+    epochs: int = 6,
+    n_train: int = 300,
+    n_test: int = 120,
+    n_workers: int | None = None,
+) -> FPVMonteCarloAblation:
+    """Monte-Carlo FPV accuracy with and without tuning compensation.
+
+    Composes the quantization channel with the FPV drift channel at two
+    compensation levels: fully uncompensated wafer drift (no tuning) and the
+    small residual fraction a locked TED/hybrid tuning loop leaves behind.
+    Each stack is evaluated over ``seeds`` independent wafer draws through
+    :func:`repro.sim.photonic_inference.monte_carlo_accuracy` (pass
+    ``n_workers > 1`` to fan the trials over a process pool).
+    """
+    train_x, train_y, test_x, test_y = sign_mnist_synthetic(n_train=n_train, n_test=n_test)
+    model = build_model(1, compact=True)
+    model.fit(train_x, train_y, epochs=epochs, batch_size=32, seed=0)
+
+    def stack(residual_fraction: float) -> NoiseStack:
+        return NoiseStack(
+            [
+                QuantizationChannel(bits=resolution_bits),
+                FPVDriftChannel(residual_fraction=residual_fraction),
+            ]
+        )
+
+    ideal = ideal_model_accuracy(model, test_x, test_y)
+    uncompensated = monte_carlo_accuracy(
+        model, test_x, test_y, stack(1.0),
+        seeds=seeds, activation_bits=resolution_bits, n_workers=n_workers,
+        ideal_accuracy=ideal,
+    )
+    compensated = monte_carlo_accuracy(
+        model, test_x, test_y, stack(compensated_residual_fraction),
+        seeds=seeds, activation_bits=resolution_bits, n_workers=n_workers,
+        ideal_accuracy=ideal,
+    )
+    return FPVMonteCarloAblation(uncompensated=uncompensated, compensated=compensated)
+
+
+def run(
+    include_drift_accuracy: bool = True,
+    include_fpv_monte_carlo: bool = False,
+) -> AblationResult:
+    """Run every ablation study (the accuracy ones train a model)."""
     drift_accuracy: tuple[PhotonicInferenceResult, ...] = ()
     if include_drift_accuracy:
         drift_accuracy = drift_accuracy_ablation()
+    fpv_monte_carlo = None
+    if include_fpv_monte_carlo:
+        fpv_monte_carlo = fpv_monte_carlo_ablation()
     return AblationResult(
         wavelength_reuse=wavelength_reuse_ablation(),
         bank_size_sweep=bank_size_ablation(),
         tuning_latency=tuning_latency_ablation(),
         drift_accuracy=drift_accuracy,
+        fpv_monte_carlo=fpv_monte_carlo,
     )
 
 
-def main() -> str:
-    """Render all ablation studies as text tables."""
-    result = run()
+def format_fpv_monte_carlo(fpv: FPVMonteCarloAblation) -> str:
+    """Render the FPV Monte-Carlo ablation as a text table."""
+    return (
+        "Ablation 5 - FPV Monte-Carlo accuracy "
+        f"({len(fpv.uncompensated.seeds)} wafer draws)\n"
+        + format_table(
+            ["FPV compensation", "Mean accuracy", "Std", "Noise stack"],
+            [
+                [
+                    "none (raw wafer drift)",
+                    fpv.uncompensated.mean_accuracy,
+                    fpv.uncompensated.std_accuracy,
+                    fpv.uncompensated.noise,
+                ],
+                [
+                    "TED/hybrid tuning",
+                    fpv.compensated.mean_accuracy,
+                    fpv.compensated.std_accuracy,
+                    fpv.compensated.noise,
+                ],
+            ],
+            float_format="{:.3f}",
+        )
+        + f"\nAccuracy recovered by tuning: {fpv.accuracy_recovered:.3f}"
+    )
+
+
+def main(include_fpv_monte_carlo: bool = False) -> str:
+    """Render all ablation studies as text tables.
+
+    The FPV Monte-Carlo study trains a second model and runs two 8-seed
+    Monte-Carlo sweeps, so it is opt-in (``--fpv`` on the command line).
+    """
+    result = run(include_fpv_monte_carlo=include_fpv_monte_carlo)
     sections = []
 
     reuse = result.wavelength_reuse
@@ -209,8 +314,13 @@ def main() -> str:
             )
         )
 
+    if result.fpv_monte_carlo is not None:
+        sections.append(format_fpv_monte_carlo(result.fpv_monte_carlo))
+
     return "\n\n".join(sections)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper
-    print(main())
+    import sys
+
+    print(main(include_fpv_monte_carlo="--fpv" in sys.argv[1:]))

@@ -16,7 +16,7 @@ product structure via :meth:`Layer.workload`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -8,6 +8,10 @@ equivalent machinery on the pure-NumPy substrate:
 * :class:`UniformQuantizer` -- symmetric uniform quantizer with a
   configurable bit width, used for both weights and activations;
 * :func:`quantize_array` / :func:`fake_quantize` -- stateless helpers;
+* :func:`capture_parameters` / :func:`restore_parameters` /
+  :func:`swapped_parameters` -- the save/transform/restore machinery for
+  temporarily replacing Conv2D/Dense parameters, shared by the wrapper below
+  and by the photonic inference engine's noise-stack weight perturbation;
 * :class:`QuantizedModelWrapper` -- wraps a trained
   :class:`repro.nn.model.Sequential` model so that every Conv2D/Dense layer's
   weights *and* the activations flowing between layers are quantized during
@@ -20,6 +24,8 @@ equivalent machinery on the pure-NumPy substrate:
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -98,6 +104,72 @@ def fake_quantize(values: np.ndarray, bits: int) -> np.ndarray:
     return quantize_array(values, bits)
 
 
+def capture_parameters(
+    model: Sequential, param_names: Iterable[str] | None = None
+) -> dict[int, dict[str, np.ndarray]]:
+    """Copy the Conv2D/Dense parameters of ``model`` for later restoration.
+
+    Parameters
+    ----------
+    model:
+        The model whose parameters to snapshot.
+    param_names:
+        Restrict the snapshot to these parameter names (e.g. ``("weight",)``
+        to leave biases alone); ``None`` captures every parameter.
+
+    Returns
+    -------
+    dict
+        ``{layer_index: {name: copy}}`` suitable for
+        :func:`restore_parameters`.
+    """
+    names = None if param_names is None else set(param_names)
+    saved: dict[int, dict[str, np.ndarray]] = {}
+    for index, layer in enumerate(model.layers):
+        if not isinstance(layer, (Conv2D, Dense)):
+            continue
+        stored = {
+            name: param.copy()
+            for name, param in layer.parameters().items()
+            if names is None or name in names
+        }
+        if stored:
+            saved[index] = stored
+    return saved
+
+
+def restore_parameters(model: Sequential, saved: dict[int, dict[str, np.ndarray]]) -> None:
+    """Write a :func:`capture_parameters` snapshot back into ``model``."""
+    for index, stored in saved.items():
+        layer = model.layers[index]
+        for name, value in stored.items():
+            layer.parameters()[name][...] = value
+
+
+@contextmanager
+def swapped_parameters(
+    model: Sequential,
+    transform: Callable[[np.ndarray], np.ndarray],
+    param_names: Iterable[str] | None = None,
+):
+    """Temporarily replace Conv2D/Dense parameters with ``transform(param)``.
+
+    The transform is applied layer by layer in model order (relevant when it
+    consumes randomness), and the original float parameters are restored on
+    exit even if the body raises.
+    """
+    saved = capture_parameters(model, param_names)
+    try:
+        for index, stored in saved.items():
+            layer = model.layers[index]
+            for name in stored:
+                param = layer.parameters()[name]
+                param[...] = transform(param)
+        yield model
+    finally:
+        restore_parameters(model, saved)
+
+
 class QuantizedModelWrapper:
     """Inference-time quantization of a trained model.
 
@@ -134,23 +206,16 @@ class QuantizedModelWrapper:
 
     def apply_weight_quantization(self) -> None:
         """Replace Conv2D/Dense weights with their quantized values."""
-        self._saved_weights.clear()
-        for index, layer in enumerate(self.model.layers):
-            if not isinstance(layer, (Conv2D, Dense)):
-                continue
-            saved = {}
-            for name, param in layer.parameters().items():
-                saved[name] = param.copy()
+        self._saved_weights = capture_parameters(self.model)
+        for index, stored in self._saved_weights.items():
+            layer = self.model.layers[index]
+            for name in stored:
+                param = layer.parameters()[name]
                 param[...] = quantize_array(param, self.weight_bits)
-            self._saved_weights[index] = saved
 
     def restore_weights(self) -> None:
         """Restore the original float weights."""
-        for index, saved in self._saved_weights.items():
-            layer = self.model.layers[index]
-            for name, param in layer.parameters().items():
-                if name in saved:
-                    param[...] = saved[name]
+        restore_parameters(self.model, self._saved_weights)
         self._saved_weights.clear()
 
     # ------------------------------------------------------------------ #

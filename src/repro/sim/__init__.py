@@ -4,20 +4,34 @@
   :mod:`repro.nn` models.
 * :mod:`repro.sim.simulator` -- runs models through accelerator models and
   aggregates Table III-style metrics.
-* :mod:`repro.sim.photonic_inference` -- functional inference under photonic
-  quantization and residual-drift weight errors.
+* :mod:`repro.sim.noise` -- the composable noise-channel stack (protocol,
+  concrete quantization/drift/FPV/crosstalk channels, ordered composition).
+* :mod:`repro.sim.photonic_inference` -- functional inference through a
+  noise-channel stack, plus seeded Monte-Carlo accuracy sweeps.
 * :mod:`repro.sim.sweep` -- the unified parameter-sweep engine (grid/zip
   spaces, per-point records, optional process-pool parallelism, memoization)
   every experiment driver runs on.
 * :mod:`repro.sim.results` -- plain-text table formatting for reports.
 """
 
+from repro.sim.noise import (
+    FPVDriftChannel,
+    InterChannelCrosstalkChannel,
+    NoiseChannel,
+    NoiseStack,
+    QuantizationChannel,
+    ResidualDriftChannel,
+    ThermalCrosstalkChannel,
+    default_noise_stack,
+)
 from repro.sim.photonic_inference import (
+    MonteCarloAccuracy,
     PhotonicInferenceEngine,
     PhotonicInferenceResult,
     accuracy_vs_residual_drift,
     clear_ideal_accuracy_cache,
     ideal_model_accuracy,
+    monte_carlo_accuracy,
 )
 from repro.sim.results import format_ratio, format_table
 from repro.sim.simulator import (
@@ -44,15 +58,25 @@ from repro.sim.tracer import (
 
 __all__ = [
     "ComparisonResult",
+    "FPVDriftChannel",
+    "InterChannelCrosstalkChannel",
+    "MonteCarloAccuracy",
+    "NoiseChannel",
+    "NoiseStack",
     "PhotonicInferenceEngine",
     "PhotonicInferenceResult",
+    "QuantizationChannel",
+    "ResidualDriftChannel",
     "SweepPoint",
     "SweepResult",
+    "ThermalCrosstalkChannel",
     "accuracy_vs_residual_drift",
     "clear_ideal_accuracy_cache",
+    "default_noise_stack",
     "grid",
     "ideal_model_accuracy",
     "memoize",
+    "monte_carlo_accuracy",
     "run_sweep",
     "zipped",
     "WorkloadSummary",

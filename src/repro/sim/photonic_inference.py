@@ -4,14 +4,23 @@ The performance simulator (:mod:`repro.sim.simulator`) answers "how fast and
 how efficient"; this module answers "how *accurate*": it executes a trained
 model's Conv2D/Dense layers through the same decomposition the VDP units use,
 while injecting the device-level non-idealities the paper's cross-layer
-optimizations exist to suppress:
+optimizations exist to suppress.
 
-* **finite resolution** -- weights and activations are quantized to the
-  accelerator's crosstalk-limited bit width;
-* **residual resonance drift** -- any FPV/thermal drift left uncompensated by
-  the tuning circuit perturbs each imprinted weight along the MR's
-  Lorentzian, which is modelled per-weight via
-  :meth:`repro.devices.mr.MicroringResonator.transmission_error_from_drift`.
+The non-idealities themselves live in :mod:`repro.sim.noise` as composable
+:class:`~repro.sim.noise.NoiseChannel` objects -- quantization, residual
+Lorentzian drift, Monte-Carlo FPV drift, spectral and thermal crosstalk --
+assembled into an ordered :class:`~repro.sim.noise.NoiseStack`.  The engine
+here runs a model's weights through a stack (and optionally quantizes the
+activations flowing between layers), so any combination of effects can be
+evaluated without touching the engine:
+
+* the legacy two-channel constructor
+  (``PhotonicInferenceEngine(resolution_bits=..., residual_drift_nm=...)``)
+  is a thin factory over :func:`repro.sim.noise.default_noise_stack` and
+  reproduces the pre-stack engine elementwise;
+* :meth:`PhotonicInferenceEngine.from_stack` accepts arbitrary stacks;
+* :func:`monte_carlo_accuracy` fans seeded FPV/crosstalk trials out through
+  the sweep engine (process-pool capable) and reports mean/std accuracy.
 
 This closes the loop of the paper's argument: the optimized MR design and the
 TED hybrid tuning keep the residual drift small, which keeps the imprinted
@@ -30,22 +39,35 @@ from collections import OrderedDict
 from functools import partial
 
 from repro.devices.mr import MicroringResonator
-from repro.nn.layers import BatchNorm, Conv2D, Dense
+from repro.nn.layers import BatchNorm
 from repro.nn.model import Sequential
-from repro.nn.quantization import quantize_array
+from repro.nn.quantization import quantize_array, swapped_parameters
+from repro.sim.noise import (
+    NoiseStack,
+    QuantizationChannel,
+    ResidualDriftChannel,
+    default_noise_stack,
+)
 from repro.sim.sweep import run_sweep
 from repro.utils.validation import check_non_negative, check_positive_int
 
 
 @dataclass(frozen=True)
 class PhotonicInferenceResult:
-    """Accuracy of a model executed on the (non-ideal) photonic substrate."""
+    """Accuracy of a model executed on the (non-ideal) photonic substrate.
+
+    ``resolution_bits`` / ``residual_drift_nm`` summarise the corresponding
+    channels of the engine's noise stack when present; a stack without a
+    quantization channel reports ``resolution_bits = 0`` (unquantized /
+    float weights), and ``noise`` always carries the full stack description.
+    """
 
     model: str
     resolution_bits: int
     residual_drift_nm: float
     accuracy: float
     ideal_accuracy: float
+    noise: str = ""
 
     @property
     def accuracy_loss(self) -> float:
@@ -54,23 +76,43 @@ class PhotonicInferenceResult:
 
 
 class PhotonicInferenceEngine:
-    """Execute a trained model with photonic quantization and weight errors.
+    """Execute a trained model through a stack of photonic noise channels.
+
+    The engine owns a seeded random generator, threads it through the noise
+    stack when perturbing each layer's weights, and (optionally) quantizes
+    the activations flowing between layers to the modulator/ADC resolution.
 
     Parameters
     ----------
     resolution_bits:
-        Weight/activation resolution of the accelerator (16 for CrossLight,
-        4 for DEAP-CNN, ...).
+        Legacy shorthand: weight/activation resolution of the accelerator
+        (16 for CrossLight, 4 for DEAP-CNN, ...).  Ignored when
+        ``noise_stack`` is given (pass a
+        :class:`~repro.sim.noise.QuantizationChannel` instead).
     residual_drift_nm:
-        Uncompensated MR resonance drift.  With CrossLight's hybrid tuning
-        this is a small fraction of a nanometre; without FPV compensation it
-        can be the full 2.1 / 7.1 nm design drift.
+        Legacy shorthand: uniform uncompensated MR resonance drift.  Ignored
+        when ``noise_stack`` is given (pass a
+        :class:`~repro.sim.noise.ResidualDriftChannel` instead).
     mr:
-        Ring model used to translate drift into per-weight transmission
-        error.
+        Ring model used by the legacy drift shorthand.
     seed:
-        Seed for the random sign of each weight's drift-induced error
-        (whether a given ring drifts towards or away from its target).
+        Seed of the engine's random generator (drift error signs, FPV
+        draws); a fixed seed replays an identical trial.
+    noise_stack:
+        Explicit :class:`~repro.sim.noise.NoiseStack` (or iterable of
+        channels) replacing the legacy two-parameter noise model.  Prefer
+        :meth:`from_stack` for new code.
+    activation_bits:
+        Resolution of inter-layer activations; ``None`` keeps activations in
+        float.  Defaults to ``resolution_bits`` for legacy construction and
+        to ``None`` for stack construction.
+
+    Notes
+    -----
+    Reaching into the legacy internals (``engine.resolution_bits`` /
+    ``engine.residual_drift_nm`` / ``engine.mr``) is deprecated in favour of
+    inspecting ``engine.noise_stack``; the attributes remain (derived from
+    the stack, no warning) so existing call sites keep working.
     """
 
     def __init__(
@@ -79,69 +121,98 @@ class PhotonicInferenceEngine:
         residual_drift_nm: float = 0.0,
         mr: MicroringResonator | None = None,
         seed: int = 0,
+        *,
+        noise_stack: NoiseStack | None = None,
+        activation_bits: int | None = None,
     ) -> None:
-        check_positive_int("resolution_bits", resolution_bits)
-        check_non_negative("residual_drift_nm", residual_drift_nm)
-        self.resolution_bits = resolution_bits
-        self.residual_drift_nm = residual_drift_nm
-        self.mr = mr or MicroringResonator.optimized()
+        if noise_stack is None:
+            check_positive_int("resolution_bits", resolution_bits)
+            check_non_negative("residual_drift_nm", residual_drift_nm)
+            mr = mr or MicroringResonator.optimized()
+            noise_stack = default_noise_stack(resolution_bits, residual_drift_nm, mr)
+            if activation_bits is None:
+                activation_bits = resolution_bits
+        elif not isinstance(noise_stack, NoiseStack):
+            noise_stack = NoiseStack(tuple(noise_stack))
+        if activation_bits is not None:
+            check_positive_int("activation_bits", activation_bits)
+        self.noise_stack = noise_stack
+        self.activation_bits = activation_bits
+        self.mr = mr if mr is not None else self._stack_mr(noise_stack)
+        self.resolution_bits = self._stack_resolution_bits(noise_stack, activation_bits)
+        self.residual_drift_nm = self._stack_residual_drift(noise_stack)
         self._rng = np.random.default_rng(seed)
+
+    @classmethod
+    def from_stack(
+        cls,
+        noise_stack: NoiseStack,
+        activation_bits: int | None = None,
+        seed: int = 0,
+    ) -> "PhotonicInferenceEngine":
+        """Engine over an explicit noise stack (the extension point)."""
+        return cls(noise_stack=noise_stack, activation_bits=activation_bits, seed=seed)
+
+    # -- legacy attribute derivation ----------------------------------- #
+    @staticmethod
+    def _stack_mr(stack: NoiseStack) -> MicroringResonator:
+        for channel in stack:
+            if isinstance(channel, ResidualDriftChannel):
+                return channel.mr
+        return MicroringResonator.optimized()
+
+    @staticmethod
+    def _stack_resolution_bits(stack: NoiseStack, activation_bits: int | None) -> int:
+        for channel in stack:
+            if isinstance(channel, QuantizationChannel) and channel.bits is not None:
+                return channel.bits
+        # No weight quantization in the stack: 0 is the documented
+        # "unquantized / float weights" sentinel (activation resolution is
+        # tracked separately and does not quantize the imprinted weights).
+        return 0
+
+    @staticmethod
+    def _stack_residual_drift(stack: NoiseStack) -> float:
+        return sum(
+            channel.residual_drift_nm
+            for channel in stack
+            if isinstance(channel, ResidualDriftChannel)
+        )
 
     # ------------------------------------------------------------------ #
     # Weight perturbation
     # ------------------------------------------------------------------ #
     def perturbed_weights(self, weights: np.ndarray) -> np.ndarray:
-        """Quantize ``weights`` and add the drift-induced imprint error.
+        """Run ``weights`` through the noise stack (consumes engine RNG).
 
-        Weight magnitudes are normalised to the tensor's dynamic range (as a
-        DAC would program them), quantized, and each element receives an
-        error whose magnitude follows the Lorentzian sensitivity of its ring
-        at the configured residual drift and whose sign is random per ring.
+        For the default stack: magnitudes are normalised to the tensor's
+        dynamic range (as a DAC would program them), quantized, and each
+        element receives an error whose magnitude follows the Lorentzian
+        sensitivity of its ring at the configured residual drift and whose
+        sign is random per ring.
         """
-        quantized = quantize_array(weights, self.resolution_bits)
-        if self.residual_drift_nm <= 0.0:
-            return quantized
-        max_abs = float(np.max(np.abs(quantized)))
-        if max_abs == 0.0:
-            return quantized
-        normalised = np.abs(quantized) / max_abs
-        # One vectorized Lorentzian evaluation over the whole tensor -- the
-        # array-first device API replaces the former per-element Python loop.
-        errors = np.asarray(
-            self.mr.transmission_error_from_drift(normalised, self.residual_drift_nm)
-        )
-        signs = self._rng.choice([-1.0, 1.0], size=errors.shape)
-        return quantized + signs * errors * max_abs
+        return self.noise_stack.apply(weights, self._rng)
 
     # ------------------------------------------------------------------ #
     # Model execution
     # ------------------------------------------------------------------ #
+    def _quantize_activation(self, values: np.ndarray) -> np.ndarray:
+        if self.activation_bits is None:
+            return values
+        return quantize_array(values, self.activation_bits)
+
     def predict(self, model: Sequential, inputs: np.ndarray, batch_size: int = 64) -> np.ndarray:
         """Forward pass with perturbed weights and quantized activations."""
-        saved: dict[int, dict[str, np.ndarray]] = {}
-        try:
-            for index, layer in enumerate(model.layers):
-                if isinstance(layer, (Conv2D, Dense)):
-                    saved[index] = {
-                        name: param.copy() for name, param in layer.parameters().items()
-                    }
-                    weight = layer.parameters()["weight"]
-                    weight[...] = self.perturbed_weights(weight)
+        with swapped_parameters(model, self.perturbed_weights, param_names=("weight",)):
             model.eval()
             outputs = []
             for start in range(0, inputs.shape[0], batch_size):
-                batch = quantize_array(inputs[start : start + batch_size], self.resolution_bits)
-                out = batch
+                out = self._quantize_activation(inputs[start : start + batch_size])
                 for layer in model.layers:
                     out = layer.forward(out)
-                    out = quantize_array(out, self.resolution_bits)
+                    out = self._quantize_activation(out)
                 outputs.append(out)
             return np.concatenate(outputs, axis=0)
-        finally:
-            for index, params in saved.items():
-                layer = model.layers[index]
-                for name, value in params.items():
-                    layer.parameters()[name][...] = value
 
     def evaluate(
         self,
@@ -171,6 +242,7 @@ class PhotonicInferenceEngine:
             residual_drift_nm=self.residual_drift_nm,
             accuracy=accuracy,
             ideal_accuracy=float(ideal_accuracy),
+            noise=self.noise_stack.describe(),
         )
 
 
@@ -287,9 +359,9 @@ def _evaluate_drift_point(
     ideal_accuracy: float,
 ) -> PhotonicInferenceResult:
     """One point of the drift sweep (module-level for sweep-engine use)."""
-    engine = PhotonicInferenceEngine(
-        resolution_bits=resolution_bits,
-        residual_drift_nm=float(drift_nm),
+    engine = PhotonicInferenceEngine.from_stack(
+        default_noise_stack(resolution_bits, float(drift_nm)),
+        activation_bits=resolution_bits,
         seed=seed,
     )
     return engine.evaluate(model, inputs, labels, ideal_accuracy=ideal_accuracy)
@@ -328,3 +400,139 @@ def accuracy_vs_residual_drift(
         [{"drift_nm": float(drift)} for drift in drifts_nm],
     )
     return list(result.values)
+
+
+# ---------------------------------------------------------------------- #
+# Monte-Carlo accuracy over noise-stack seeds
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MonteCarloAccuracy:
+    """Accuracy statistics of repeated seeded trials of one noise stack."""
+
+    model: str
+    noise: str
+    seeds: tuple[int, ...]
+    records: tuple[PhotonicInferenceResult, ...]
+    ideal_accuracy: float
+
+    @property
+    def accuracies(self) -> tuple[float, ...]:
+        """Per-seed accuracies, in seed order."""
+        return tuple(record.accuracy for record in self.records)
+
+    @property
+    def mean_accuracy(self) -> float:
+        """Mean accuracy across the Monte-Carlo trials."""
+        return float(np.mean(self.accuracies))
+
+    @property
+    def std_accuracy(self) -> float:
+        """Population standard deviation of accuracy across the trials."""
+        return float(np.std(self.accuracies))
+
+    @property
+    def mean_accuracy_loss(self) -> float:
+        """Mean accuracy lost relative to ideal (float, noiseless) inference."""
+        return self.ideal_accuracy - self.mean_accuracy
+
+
+def _evaluate_noise_seed(
+    seed: int,
+    model: Sequential,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    noise_stack: NoiseStack,
+    activation_bits: int | None,
+    batch_size: int,
+    ideal_accuracy: float,
+) -> PhotonicInferenceResult:
+    """One Monte-Carlo trial (module-level so process pools can pickle it)."""
+    engine = PhotonicInferenceEngine.from_stack(
+        noise_stack, activation_bits=activation_bits, seed=int(seed)
+    )
+    return engine.evaluate(
+        model, inputs, labels, batch_size=batch_size, ideal_accuracy=ideal_accuracy
+    )
+
+
+def monte_carlo_accuracy(
+    model: Sequential,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    noise_stack: NoiseStack,
+    seeds=8,
+    activation_bits: int | None = None,
+    batch_size: int = 64,
+    n_workers: int | None = None,
+    ideal_accuracy: float | None = None,
+) -> MonteCarloAccuracy:
+    """Accuracy distribution of a noise stack over seeded Monte-Carlo trials.
+
+    Each seed drives one independent trial: the engine's generator is seeded
+    with it, so stochastic channels (FPV wafer draws, drift error signs)
+    sample a fresh but reproducible realisation, while deterministic
+    channels (quantization, crosstalk mixing) repeat exactly.  Trials are
+    independent, so they fan out through :func:`repro.sim.sweep.run_sweep`;
+    pass ``n_workers > 1`` to spread them over a process pool (the model,
+    dataset, and stack are all picklable).
+
+    Parameters
+    ----------
+    model, inputs, labels:
+        Trained model and labelled evaluation set.
+    noise_stack:
+        The noise-channel stack each trial applies to the weights.
+    seeds:
+        Either the number of trials (seeds ``0..n-1``) or an iterable of
+        explicit seeds.
+    activation_bits:
+        Inter-layer activation resolution (``None`` keeps activations in
+        float; weight quantization belongs in the stack).
+    batch_size:
+        Forward-pass batch size.
+    n_workers:
+        Process-pool width for :func:`repro.sim.sweep.run_sweep`.
+    ideal_accuracy:
+        Precomputed noiseless baseline shared across the trials (mirrors
+        :meth:`PhotonicInferenceEngine.evaluate`); computed once via
+        :func:`ideal_model_accuracy` when omitted.
+
+    Returns
+    -------
+    MonteCarloAccuracy
+        Per-seed records plus mean/std accuracy; deterministic for a fixed
+        seed list regardless of ``n_workers``.
+    """
+    if isinstance(seeds, (int, np.integer)):
+        check_positive_int("seeds", int(seeds))
+        seed_list = tuple(range(int(seeds)))
+    else:
+        seed_list = tuple(int(seed) for seed in seeds)
+        if not seed_list:
+            raise ValueError("seeds must not be empty")
+    ideal = (
+        float(ideal_accuracy)
+        if ideal_accuracy is not None
+        else ideal_model_accuracy(model, inputs, labels, batch_size=batch_size)
+    )
+    sweep = run_sweep(
+        partial(
+            _evaluate_noise_seed,
+            model=model,
+            inputs=inputs,
+            labels=labels,
+            noise_stack=noise_stack,
+            activation_bits=activation_bits,
+            batch_size=batch_size,
+            ideal_accuracy=ideal,
+        ),
+        [{"seed": seed} for seed in seed_list],
+        n_workers=n_workers,
+    )
+    return MonteCarloAccuracy(
+        model=model.name,
+        noise=noise_stack.describe(),
+        seeds=seed_list,
+        records=tuple(sweep.values),
+        ideal_accuracy=ideal,
+    )

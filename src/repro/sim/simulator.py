@@ -10,6 +10,7 @@ averages.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
 from repro.arch.accelerator import CrossLightAccelerator, PhotonicAccelerator
@@ -50,11 +51,21 @@ def simulate_model(
 
 def simulate_models(
     accelerator: PhotonicAccelerator,
-    models: dict[int, Sequential | SiameseModel] | None = None,
+    models: Mapping[object, Sequential | SiameseModel]
+    | Iterable[Sequential | SiameseModel]
+    | None = None,
 ) -> AggregateReport:
-    """Aggregate report of an accelerator across the four Table-I models."""
-    models = models or build_all_models()
-    reports = [simulate_model(accelerator, model) for _, model in sorted(models.items())]
+    """Aggregate report of an accelerator across a set of models.
+
+    ``models`` may be any mapping (values are simulated in the caller's
+    insertion order -- keys are never sorted, so string- or enum-keyed
+    collections work) or a plain iterable of models.  ``None`` uses the four
+    Table-I models.
+    """
+    if models is None:
+        models = build_all_models()
+    ordered = list(models.values()) if isinstance(models, Mapping) else list(models)
+    reports = [simulate_model(accelerator, model) for model in ordered]
     return aggregate(reports)
 
 

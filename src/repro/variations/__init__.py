@@ -28,6 +28,7 @@ from repro.variations.fpv import (
     conventional_drift_nm,
     expected_fpv_drift_nm,
     optimized_drift_nm,
+    sample_banked_drifts,
     width_sensitivity_nm_per_nm,
 )
 from repro.variations.heat_solver import (
@@ -57,6 +58,7 @@ __all__ = [
     "fit_decay_length_um",
     "optimized_drift_nm",
     "phase_crosstalk_ratio",
+    "sample_banked_drifts",
     "temperature_rise_from_heater",
     "width_sensitivity_nm_per_nm",
 ]

@@ -92,6 +92,53 @@ def expected_fpv_drift_nm(
     return width_term + thickness_term
 
 
+def sample_banked_drifts(
+    rng: np.random.Generator,
+    n_rings: int,
+    sigma_nm: float,
+    bank_size: int | None = None,
+    bank_correlation: float = 0.8,
+) -> np.ndarray:
+    """Sample signed FPV drifts (nm) for rings organised in MR banks.
+
+    Rings within one bank sit tens of micrometres apart and therefore see
+    highly correlated process variations; rings in different banks are
+    further apart and drift independently.  Each bank draws one common
+    (systematic) component carrying ``bank_correlation`` of the variance,
+    and every ring adds an independent local component with the remainder.
+
+    Unlike :class:`FPVDriftSampler` this helper draws from a caller-supplied
+    :class:`numpy.random.Generator`, so Monte-Carlo harnesses (the FPV noise
+    channel, :func:`repro.sim.photonic_inference.monte_carlo_accuracy`) can
+    thread one seeded stream through a whole trial.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness; the caller controls seeding.
+    n_rings:
+        Total number of rings to sample.
+    sigma_nm:
+        Per-ring drift standard deviation (e.g. ``expected_fpv_drift_nm / 3``).
+    bank_size:
+        Rings per bank; ``None`` treats all rings as one bank (the
+        :class:`FPVDriftSampler` convention).
+    bank_correlation:
+        Fraction of the drift variance common to the rings of a bank.
+    """
+    check_positive_int("n_rings", n_rings)
+    check_non_negative("sigma_nm", sigma_nm)
+    if not 0.0 <= bank_correlation <= 1.0:
+        raise ValueError("bank_correlation must be in [0, 1]")
+    if bank_size is None:
+        bank_size = n_rings
+    check_positive_int("bank_size", bank_size)
+    n_banks = -(-n_rings // bank_size)  # ceil division
+    common = rng.normal(0.0, sigma_nm * np.sqrt(bank_correlation), size=n_banks)
+    local = rng.normal(0.0, sigma_nm * np.sqrt(1.0 - bank_correlation), size=n_rings)
+    return np.repeat(common, bank_size)[:n_rings] + local
+
+
 @dataclass
 class FPVDriftSampler:
     """Monte-Carlo sampler of per-ring FPV resonance drifts.

@@ -9,11 +9,48 @@ from repro.nn import (
     QuantizedModelWrapper,
     UniformQuantizer,
     build_model,
+    capture_parameters,
     evaluate_quantized_accuracy,
     quantization_aware_finetune,
     quantize_array,
+    restore_parameters,
     sign_mnist_synthetic,
+    swapped_parameters,
 )
+
+
+class TestParameterSwapping:
+    def test_swapped_parameters_applies_and_restores(self):
+        model = build_model(1, compact=True)
+        original = [p.copy() for layer in model.layers for p in layer.parameters().values()]
+        with swapped_parameters(model, lambda p: p * 0.0, param_names=("weight",)):
+            for layer in model.layers:
+                weight = layer.parameters().get("weight")
+                if weight is not None:
+                    np.testing.assert_allclose(weight, 0.0)
+        restored = [p for layer in model.layers for p in layer.parameters().values()]
+        for before, after in zip(original, restored):
+            np.testing.assert_allclose(before, after)
+
+    def test_swapped_parameters_restores_on_exception(self):
+        model = build_model(1, compact=True)
+        original = [p.copy() for layer in model.layers for p in layer.parameters().values()]
+        with pytest.raises(RuntimeError):
+            with swapped_parameters(model, lambda p: p + 1.0):
+                raise RuntimeError("forward pass blew up")
+        restored = [p for layer in model.layers for p in layer.parameters().values()]
+        for before, after in zip(original, restored):
+            np.testing.assert_allclose(before, after)
+
+    def test_capture_restores_only_selected_names(self):
+        model = build_model(1, compact=True)
+        saved = capture_parameters(model, param_names=("weight",))
+        assert saved, "expected at least one Conv2D/Dense layer"
+        assert all(set(stored) == {"weight"} for stored in saved.values())
+        first = next(iter(saved))
+        model.layers[first].parameters()["weight"][...] = 123.0
+        restore_parameters(model, saved)
+        assert not np.any(model.layers[first].parameters()["weight"] == 123.0)
 
 
 class TestUniformQuantizer:

@@ -89,5 +89,28 @@ class TestAblationStudies:
     def test_run_without_training_is_fast_and_complete(self):
         result = ablation.run(include_drift_accuracy=False)
         assert result.drift_accuracy == ()
+        assert result.fpv_monte_carlo is None
         assert result.wavelength_reuse.saving_ratio > 1.0
         assert len(result.bank_size_sweep) == 6
+
+    def test_fpv_monte_carlo_ablation_and_rendering(self):
+        # Reduced scale: the barely-trained model cannot show the accuracy
+        # recovery, but the plumbing (two Monte-Carlo sweeps, stats,
+        # rendering) is exercised end to end.
+        result = ablation.fpv_monte_carlo_ablation(
+            seeds=2, epochs=2, n_train=80, n_test=40
+        )
+        assert result.uncompensated.seeds == (0, 1)
+        assert result.compensated.seeds == (0, 1)
+        for study in (result.uncompensated, result.compensated):
+            assert 0.0 <= study.mean_accuracy <= 1.0
+            assert study.std_accuracy >= 0.0
+            assert "fpv-drift" in study.noise
+        # The compensated stack applies a much smaller residual drift.
+        uncompensated_channel = result.uncompensated.noise
+        compensated_channel = result.compensated.noise
+        assert uncompensated_channel != compensated_channel
+        rendered = ablation.format_fpv_monte_carlo(result)
+        assert "Ablation 5" in rendered
+        assert "TED/hybrid tuning" in rendered
+        assert "Accuracy recovered" in rendered

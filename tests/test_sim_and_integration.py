@@ -10,7 +10,6 @@ from repro.baselines import DeapCnnAccelerator, HolyLightAccelerator
 from repro.nn import build_model
 from repro.sim import (
     accelerated_workloads,
-    compare_accelerators,
     default_accelerators,
     format_ratio,
     format_table,
@@ -62,6 +61,24 @@ class TestSimulator:
         agg = simulate_models(best_accelerator, full_models)
         assert len(agg.reports) == 4
         assert agg.avg_epb_pj_per_bit > 0
+
+    def test_simulate_models_preserves_caller_ordering(self, best_accelerator, full_models):
+        # Insertion order wins -- keys are never sorted, so a reversed
+        # mapping yields reversed reports.
+        reversed_models = dict(reversed(list(full_models.items())))
+        agg = simulate_models(best_accelerator, reversed_models)
+        expected = [m.name for m in reversed_models.values()]
+        assert [r.model for r in agg.reports] == expected
+
+    def test_simulate_models_accepts_string_keyed_mapping(self, best_accelerator, full_models):
+        named = {f"model-{index}": model for index, model in full_models.items()}
+        agg = simulate_models(best_accelerator, named)
+        assert [r.model for r in agg.reports] == [m.name for m in named.values()]
+
+    def test_simulate_models_accepts_plain_iterable(self, best_accelerator, full_models):
+        models = list(full_models.values())[:2]
+        agg = simulate_models(best_accelerator, models)
+        assert [r.model for r in agg.reports] == [m.name for m in models]
 
     def test_default_accelerators_roster(self):
         names = [a.name for a in default_accelerators()]
