@@ -56,16 +56,19 @@ from repro.sim.noise import (
     default_noise_stack,
 )
 from repro.sim.photonic_inference import (
+    EnsembleInferenceEngine,
     MonteCarloAccuracy,
     PhotonicInferenceEngine,
     PhotonicInferenceResult,
     accuracy_vs_residual_drift,
+    evaluate_ensemble,
     monte_carlo_accuracy,
 )
 
 __version__ = "1.1.0"
 
 __all__ = [
+    "EnsembleInferenceEngine",
     "FPVDriftChannel",
     "InterChannelCrosstalkChannel",
     "MonteCarloAccuracy",
@@ -79,5 +82,6 @@ __all__ = [
     "__version__",
     "accuracy_vs_residual_drift",
     "default_noise_stack",
+    "evaluate_ensemble",
     "monte_carlo_accuracy",
 ]

@@ -20,6 +20,12 @@ extension of the evaluation:
 * **FPV Monte-Carlo accuracy** -- the same model under seeded wafer draws of
   the FPV drift channel, comparing compensated against uncompensated
   process variation (the accuracy-side view of the paper's tuning claim).
+
+Both accuracy studies run on the ensemble-vectorized inference path: the
+drift sweep evaluates all drift points as one fused ensemble, and each
+Monte-Carlo study stacks its wafer draws along the ensemble axis
+(:class:`repro.sim.photonic_inference.EnsembleInferenceEngine`), with
+``n_workers > 1`` still available to spread seed chunks over a process pool.
 """
 
 from __future__ import annotations
@@ -178,8 +184,10 @@ def fpv_monte_carlo_ablation(
     compensation levels: fully uncompensated wafer drift (no tuning) and the
     small residual fraction a locked TED/hybrid tuning loop leaves behind.
     Each stack is evaluated over ``seeds`` independent wafer draws through
-    :func:`repro.sim.photonic_inference.monte_carlo_accuracy` (pass
-    ``n_workers > 1`` to fan the trials over a process pool).
+    :func:`repro.sim.photonic_inference.monte_carlo_accuracy`, which stacks
+    the draws along the ensemble axis and runs fused forward passes (pass
+    ``n_workers > 1`` to additionally spread seed chunks over a process
+    pool).
     """
     train_x, train_y, test_x, test_y = sign_mnist_synthetic(n_train=n_train, n_test=n_test)
     model = build_model(1, compact=True)

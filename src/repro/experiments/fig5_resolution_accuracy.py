@@ -10,13 +10,15 @@ resulting inference accuracy.  The qualitative behaviour the paper highlights:
 
 This driver trains the *compact* zoo models on the synthetic dataset
 stand-ins (the offline substitute for Sign-MNIST/CIFAR-10/STL-10/Omniglot --
-see DESIGN.md), then evaluates each at every resolution in the sweep by
-running it through the photonic inference engine with a quantization-only
-noise stack (:class:`repro.sim.noise.QuantizationChannel` for the weights,
-``activation_bits`` for the activations flowing between layers).  Because
-the non-idealities are a pluggable stack, richer Fig. 5 variants (e.g.
-quantization *plus* FPV drift) are one channel away -- see
-``examples/noise_stack_study.py``.
+see DESIGN.md), then evaluates each model's whole resolution sweep as **one
+ensemble**: every bit width becomes a member of a single
+:func:`repro.sim.photonic_inference.evaluate_ensemble` call (a
+quantization-only :class:`repro.sim.noise.QuantizationChannel` stack for the
+weights, per-member ``activation_bits`` for the activations flowing between
+layers), so the fused forward passes evaluate all resolutions together
+instead of one engine per point.  Because the non-idealities are a pluggable
+stack, richer Fig. 5 variants (e.g. quantization *plus* FPV drift) are one
+channel away -- see ``examples/noise_stack_study.py``.
 
 Note on bias handling: the engine path quantizes only the MR-imprinted
 ``weight`` tensors -- biases are applied electronically after the optical
@@ -39,7 +41,7 @@ from repro.nn.model import SiameseModel
 from repro.nn.quantization import QuantizedModelWrapper
 from repro.nn.zoo import build_model, model_spec
 from repro.sim.noise import NoiseStack, QuantizationChannel
-from repro.sim.photonic_inference import PhotonicInferenceEngine, ideal_model_accuracy
+from repro.sim.photonic_inference import evaluate_ensemble, ideal_model_accuracy
 from repro.sim.results import format_table
 from repro.sim.sweep import run_sweep
 
@@ -67,22 +69,30 @@ class AccuracyCurve:
         return self.full_precision_accuracy - self.accuracy[0]
 
 
-def _classification_accuracy_at_bits(
-    model, inputs, labels, bits: int, ideal_accuracy: float
-) -> float:
-    """Accuracy of a classifier at one resolution of the Fig. 5 sweep.
+def _classification_accuracies(
+    model, inputs, labels, bits_sweep: tuple[int, ...], ideal_accuracy: float
+) -> list[float]:
+    """Accuracy of a classifier at every resolution of the Fig. 5 sweep.
 
-    Runs the model through the photonic inference engine with a
-    quantization-only noise stack; the drift-independent ideal accuracy is
-    shared across the whole sweep.
+    All resolutions evaluate as *one ensemble* -- one member per bit width,
+    each with a quantization-only noise stack and matching activation
+    resolution -- through the fused forward passes of
+    :func:`repro.sim.photonic_inference.evaluate_ensemble`.  Quantization
+    consumes no randomness, so the per-member records are elementwise
+    identical to the historical one-engine-per-resolution loop; the
+    drift-independent ideal accuracy is shared across the whole sweep.
     """
-    engine = PhotonicInferenceEngine.from_stack(
-        NoiseStack([QuantizationChannel(bits=bits)]), activation_bits=bits, seed=0
+    records = evaluate_ensemble(
+        model,
+        inputs,
+        labels,
+        [NoiseStack([QuantizationChannel(bits=bits)]) for bits in bits_sweep],
+        seeds=[0] * len(bits_sweep),
+        activation_bits=list(bits_sweep),
+        batch_size=128,
+        ideal_accuracy=ideal_accuracy,
     )
-    result = engine.evaluate(
-        model, inputs, labels, batch_size=128, ideal_accuracy=ideal_accuracy
-    )
-    return result.accuracy
+    return [record.accuracy for record in records]
 
 
 def _siamese_accuracy_at_bits(
@@ -135,10 +145,9 @@ def run_for_model(
     train_x, train_y, test_x, test_y = data
     model.fit(train_x, train_y, epochs=epochs, batch_size=32, seed=model_index)
     ideal = ideal_model_accuracy(model, test_x, test_y, batch_size=128)
-    accuracies = [
-        _classification_accuracy_at_bits(model, test_x, test_y, bits, ideal)
-        for bits in bits_sweep
-    ]
+    accuracies = _classification_accuracies(
+        model, test_x, test_y, tuple(bits_sweep), ideal
+    )
     return AccuracyCurve(
         model_index=model_index,
         model_name=spec.name,

@@ -8,6 +8,14 @@ weights).  This driver reruns the analysis for all three designs and sweeps
 the CrossLight bank size to show where the 16-bit capability ends.  The
 bank-size sweep runs on the unified sweep engine via
 :func:`repro.crosstalk.resolution.resolution_vs_mrs_per_bank`.
+
+The optional accuracy study (``--accuracy`` / ``include_accuracy=True``)
+closes the loop to the model level: every bank size's crosstalk-limited
+resolution becomes one member of a single ensemble-vectorized inference
+call (:func:`repro.sim.photonic_inference.evaluate_ensemble`), measuring
+what each bank-size choice actually costs in inference accuracy on a
+trained compact model -- the device-level V.B analysis and the Fig. 5
+accuracy story evaluated in one fused pass.
 """
 
 from __future__ import annotations
@@ -27,6 +35,21 @@ from repro.sim.results import format_table
 
 
 @dataclass(frozen=True)
+class BankSizeAccuracyPoint:
+    """Inference accuracy at one bank size's crosstalk-limited resolution."""
+
+    mrs_per_bank: int
+    resolution_bits: int
+    accuracy: float
+    ideal_accuracy: float
+
+    @property
+    def accuracy_loss(self) -> float:
+        """Accuracy lost relative to noiseless float inference."""
+        return self.ideal_accuracy - self.accuracy
+
+
+@dataclass(frozen=True)
 class ResolutionAnalysisResult:
     """Resolution of the three accelerator device configurations."""
 
@@ -34,6 +57,7 @@ class ResolutionAnalysisResult:
     deap_cnn: ResolutionReport
     holylight: ResolutionReport
     bank_size_sweep: dict[str, np.ndarray]
+    bank_size_accuracy: tuple[BankSizeAccuracyPoint, ...] = ()
 
     @property
     def max_bank_size_for_16_bits(self) -> int:
@@ -44,19 +68,81 @@ class ResolutionAnalysisResult:
         return int(qualifying.max()) if qualifying.size else 0
 
 
-def run(max_mrs: int = 30) -> ResolutionAnalysisResult:
+def bank_size_accuracy(
+    bank_sizes=(5, 10, 15, 20, 25, 30),
+    epochs: int = 5,
+    n_train: int = 300,
+    n_test: int = 150,
+) -> tuple[BankSizeAccuracyPoint, ...]:
+    """Accuracy of a trained compact model at each bank size's resolution.
+
+    Maps every bank size through the Eq. 8-10 crosstalk analysis to its
+    sustainable weight resolution, then evaluates all resulting resolutions
+    as **one ensemble** -- a quantization-only noise stack per bank size,
+    fused forward passes, one shared ideal-accuracy baseline.  This is the
+    accuracy-side rendering of the paper's bank-size trade-off: growing the
+    bank beyond ~15 MRs cuts the crosstalk-limited resolution, and this
+    study shows where that starts costing model accuracy.
+    """
+    # Imported here: the device-level analysis above must stay importable
+    # without pulling in the NN substrate.
+    from repro.nn.datasets import sign_mnist_synthetic
+    from repro.nn.zoo import build_model
+    from repro.sim.noise import NoiseStack, QuantizationChannel
+    from repro.sim.photonic_inference import evaluate_ensemble, ideal_model_accuracy
+
+    train_x, train_y, test_x, test_y = sign_mnist_synthetic(n_train=n_train, n_test=n_test)
+    model = build_model(1, compact=True)
+    model.fit(train_x, train_y, epochs=epochs, batch_size=32, seed=0)
+
+    sizes = [int(size) for size in bank_sizes]
+    bits = [
+        max(1, crosslight_bank_resolution(n_mrs_per_bank=size).resolution_bits)
+        for size in sizes
+    ]
+    ideal = ideal_model_accuracy(model, test_x, test_y, batch_size=128)
+    records = evaluate_ensemble(
+        model,
+        test_x,
+        test_y,
+        [NoiseStack([QuantizationChannel(bits=b)]) for b in bits],
+        seeds=[0] * len(sizes),
+        activation_bits=bits,
+        batch_size=128,
+        ideal_accuracy=ideal,
+    )
+    return tuple(
+        BankSizeAccuracyPoint(
+            mrs_per_bank=size,
+            resolution_bits=b,
+            accuracy=record.accuracy,
+            ideal_accuracy=record.ideal_accuracy,
+        )
+        for size, b, record in zip(sizes, bits, records)
+    )
+
+
+def run(max_mrs: int = 30, include_accuracy: bool = False) -> ResolutionAnalysisResult:
     """Run the resolution analysis for all three accelerator designs."""
+    accuracy_points: tuple[BankSizeAccuracyPoint, ...] = ()
+    if include_accuracy:
+        accuracy_points = bank_size_accuracy()
     return ResolutionAnalysisResult(
         crosslight=crosslight_bank_resolution(),
         deap_cnn=deap_cnn_bank_resolution(),
         holylight=holylight_microdisk_resolution(),
         bank_size_sweep=resolution_vs_mrs_per_bank(max_mrs=max_mrs),
+        bank_size_accuracy=accuracy_points,
     )
 
 
-def main() -> str:
-    """Render the resolution comparison and bank-size sweep as text."""
-    result = run()
+def main(include_accuracy: bool = False) -> str:
+    """Render the resolution comparison and bank-size sweep as text.
+
+    The accuracy study trains a model and runs an ensemble evaluation, so it
+    is opt-in (``--accuracy`` on the command line).
+    """
+    result = run(include_accuracy=include_accuracy)
     comparison = format_table(
         ["Design", "Channels", "Spacing (nm)", "Q", "Resolution (bits)", "Paper (bits)"],
         [
@@ -102,8 +188,24 @@ def main() -> str:
         f"CrossLight sustains 16-bit resolution up to "
         f"{result.max_bank_size_for_16_bits} MRs per bank (paper: 15).\n"
     )
-    return header + comparison + "\n\nBank-size sweep (CrossLight):\n" + sweep_table
+    report = header + comparison + "\n\nBank-size sweep (CrossLight):\n" + sweep_table
+    if result.bank_size_accuracy:
+        accuracy_table = format_table(
+            ["MRs per bank", "Resolution (bits)", "Accuracy", "Accuracy loss"],
+            [
+                [p.mrs_per_bank, p.resolution_bits, p.accuracy, p.accuracy_loss]
+                for p in result.bank_size_accuracy
+            ],
+            float_format="{:.3f}",
+        )
+        report += (
+            "\n\nBank size vs inference accuracy "
+            "(compact LeNet-5, ensemble-evaluated):\n" + accuracy_table
+        )
+    return report
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper
-    print(main())
+    import sys
+
+    print(main(include_accuracy="--accuracy" in sys.argv[1:]))

@@ -103,6 +103,116 @@ def col2im(
 
 
 # --------------------------------------------------------------------------- #
+# Ensemble-vectorized kernels
+# --------------------------------------------------------------------------- #
+def ensemble_dense(inputs: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Fused dense forward for ``E`` weight realisations of one layer.
+
+    Parameters
+    ----------
+    inputs:
+        ``(N, F)`` activations shared by all ensemble members, or
+        ``(E, N, F)`` per-member activations.
+    weights:
+        ``(E, F, O)`` stacked weight matrices.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(E, N, O)`` outputs.  The stacked product runs one GEMM per member
+        with exactly the operand values a per-member ``inputs @ weights[e]``
+        would use, so member ``e`` is elementwise identical to the sequential
+        forward pass -- the property the ensemble inference engine's
+        equivalence guarantee rests on.
+    """
+    return np.matmul(inputs, weights)
+
+
+def ensemble_conv2d(
+    images: np.ndarray,
+    kernels: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    cols: np.ndarray | None = None,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """Fused conv forward for ``E`` kernel realisations of one layer.
+
+    Parameters
+    ----------
+    images:
+        ``(N, C, H, W)`` input shared by all members, or ``(E, N, C, H, W)``
+        per-member inputs (members diverge after the first noisy layer).
+    kernels:
+        ``(E, O, C, kh, kw)`` stacked kernel banks.
+    stride, padding:
+        Convolution geometry.
+    cols:
+        Optional precomputed :func:`im2col` lowering of ``images`` --
+        ``(N*out_h*out_w, C*kh*kw)`` for shared input, ``(E, N*out_h*out_w,
+        C*kh*kw)`` for stacked input.  For shared input the lowering is
+        independent of the ensemble member, so callers evaluating several
+        member chunks pass it in to compute the patch matrix **once per input
+        batch** instead of once per chunk.
+    bias:
+        Optional ``(O,)`` bias, added right after the matmul (the same point
+        in the operation sequence as the scalar forward pass, keeping the
+        ensemble elementwise identical to it).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(E, N, O, out_h, out_w)`` outputs.
+
+    Notes
+    -----
+    The per-member work (patch lowering of diverged activations, one GEMM
+    per kernel realisation) deliberately runs as a loop of *batch-sized*
+    operations rather than one merged ``(E*N, ...)`` mega-batch: the im2col
+    transpose-gather thrashes the cache at merged sizes (measured ~2-3x
+    slower than the same work in member-sized pieces), and each loop
+    iteration issues exactly the dgemm the scalar forward pass would, which
+    is what keeps members bit-identical.  What the ensemble *fuses* is the
+    shared lowering (one im2col for all members when the input is common)
+    and the Python-level dispatch (one call per layer per batch instead of
+    one per member).
+    """
+    kernels = np.asarray(kernels)
+    n_members, out_channels = kernels.shape[:2]
+    kernel_h, kernel_w = kernels.shape[3], kernels.shape[4]
+    shared = images.ndim == 4
+    if not shared and images.shape[0] != n_members:
+        raise ValueError(
+            f"stacked input has {images.shape[0]} members, kernels have {n_members}"
+        )
+    n = images.shape[0] if shared else images.shape[1]
+    h, w = images.shape[-2], images.shape[-1]
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    if cols is None and shared:
+        cols = im2col(images, kernel_h, kernel_w, stride, padding)
+    kernel_matrices = kernels.reshape(n_members, out_channels, -1).transpose(0, 2, 1)
+    n_positions = n * out_h * out_w
+    output = np.empty(
+        (n_members, n_positions, out_channels),
+        dtype=np.result_type(images.dtype, kernel_matrices.dtype),
+    )
+    for member in range(n_members):
+        if shared:
+            member_cols = cols
+        elif cols is not None:
+            member_cols = cols[member]
+        else:
+            member_cols = im2col(images[member], kernel_h, kernel_w, stride, padding)
+        np.matmul(member_cols, kernel_matrices[member], out=output[member])
+    if bias is not None:
+        # Cast keeps float32 ensembles in float32 (no-copy identity at
+        # float64); without it a float64 bias upcasts the whole output.
+        output = output + np.asarray(bias).astype(output.dtype, copy=False)
+    return output.reshape(n_members, n, out_h, out_w, out_channels).transpose(0, 1, 4, 2, 3)
+
+
+# --------------------------------------------------------------------------- #
 # Activations
 # --------------------------------------------------------------------------- #
 def relu(x: np.ndarray) -> np.ndarray:

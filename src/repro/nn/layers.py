@@ -152,6 +152,40 @@ class Dense(Layer):
             output = output + self.bias
         return output
 
+    def forward_ensemble(self, inputs: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Fused forward for ``E`` perturbed realisations of this layer.
+
+        ``weights`` is an ``(E, in_features, out_features)`` stack replacing
+        :attr:`weight`; ``inputs`` is either ``(N, in_features)`` (shared by
+        all members) or ``(E, N, in_features)`` (per-member activations).
+        Returns ``(E, N, out_features)`` with member ``e`` elementwise
+        identical to a scalar :meth:`forward` under ``weights[e]``.  The
+        layer's own parameters and training path are untouched.
+        """
+        weights = np.asarray(weights)
+        if weights.ndim != 3 or weights.shape[1:] != (self.in_features, self.out_features):
+            raise ValueError(
+                f"Dense ensemble expected weights (E, {self.in_features}, "
+                f"{self.out_features}), got {weights.shape}"
+            )
+        if inputs.shape[-1] != self.in_features or inputs.ndim not in (2, 3):
+            raise ValueError(
+                f"Dense ensemble expected input (N, {self.in_features}) or "
+                f"(E, N, {self.in_features}), got {inputs.shape}"
+            )
+        if inputs.ndim == 3 and inputs.shape[0] != weights.shape[0]:
+            raise ValueError(
+                f"stacked input has {inputs.shape[0]} members, weights have "
+                f"{weights.shape[0]}"
+            )
+        output = F.ensemble_dense(inputs, weights)
+        if self.use_bias:
+            # Cast keeps float32 ensembles in float32 (a float64 bias would
+            # silently upcast the largest intermediate of the pass); at
+            # float64 it is a no-copy identity.
+            output = output + self.bias.astype(output.dtype, copy=False)
+        return output
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._last_input is None:
             raise RuntimeError("backward called before forward")
@@ -248,6 +282,50 @@ class Conv2D(Layer):
         output = output.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
         self._cache = (inputs.shape, cols)
         return output
+
+    def lower(self, inputs: np.ndarray) -> np.ndarray:
+        """The layer's :func:`~repro.nn.functional.im2col` patch lowering.
+
+        Exposed so the ensemble inference engine can compute the patch matrix
+        of a shared input batch once and reuse it across member chunks.
+        """
+        return F.im2col(inputs, self.kernel_size, self.kernel_size, self.stride, self.padding)
+
+    def forward_ensemble(
+        self,
+        inputs: np.ndarray,
+        weights: np.ndarray,
+        cols: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Fused forward for ``E`` perturbed kernel banks of this layer.
+
+        ``weights`` is an ``(E, out_channels, in_channels, k, k)`` stack;
+        ``inputs`` is ``(N, C, H, W)`` (shared) or ``(E, N, C, H, W)``
+        (per-member).  ``cols`` optionally carries a precomputed
+        :meth:`lower` result for shared input so several member chunks reuse
+        one patch matrix.  Returns ``(E, N, out_channels, out_h, out_w)``
+        with member ``e`` elementwise identical to a scalar :meth:`forward`
+        under ``weights[e]``.
+        """
+        weights = np.asarray(weights)
+        if weights.ndim != 5 or weights.shape[1:] != self.weight.shape:
+            raise ValueError(
+                f"Conv2D ensemble expected weights (E, *{self.weight.shape}), "
+                f"got {weights.shape}"
+            )
+        if inputs.ndim not in (4, 5) or inputs.shape[-3] != self.in_channels:
+            raise ValueError(
+                f"Conv2D ensemble expected input (N, {self.in_channels}, H, W) or "
+                f"(E, N, {self.in_channels}, H, W), got {inputs.shape}"
+            )
+        return F.ensemble_conv2d(
+            inputs,
+            weights,
+            stride=self.stride,
+            padding=self.padding,
+            cols=cols,
+            bias=self.bias if self.use_bias else None,
+        )
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:

@@ -99,6 +99,42 @@ def quantize_array(values: np.ndarray, bits: int, max_abs: float | None = None) 
     return UniformQuantizer(bits=bits, max_abs=max_abs).quantize(values)
 
 
+def quantize_array_stack(values: np.ndarray, bits: int) -> np.ndarray:
+    """Quantize each member of a stacked ensemble to its own dynamic range.
+
+    ``values`` has shape ``(E, *shape)``: the leading axis enumerates
+    ensemble members, and member ``e`` of the result is exactly
+    ``quantize_array(values[e], bits)`` -- per-member ``max_abs`` from the
+    member's own data, zero-range members passed through.  The ensemble
+    inference path relies on this elementwise identity.
+
+    Implemented as a member loop writing into one preallocated stack rather
+    than broadcast arithmetic against an ``(E, 1, ...)`` range array: the
+    member-wise :class:`UniformQuantizer` ops take numpy's fast scalar-bound
+    paths (array-bound ``clip`` measures ~3x slower on conv-sized
+    activations), and the loop is what guarantees bit-identical members.
+
+    Preserves a floating input dtype (float32 ensembles stay float32; the
+    per-member arithmetic still runs in float64, matching
+    :func:`quantize_array`, and rounds once on assignment).
+    """
+    check_positive_int("bits", bits)
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.floating):
+        values = values.astype(float)
+    if values.ndim == 0:
+        raise ValueError("quantize_array_stack expects a stacked (E, ...) array")
+    if values.size == 0:
+        return values.copy()
+    if values.shape[0] == 1:
+        quantized = quantize_array(values[0], bits)[np.newaxis]
+        return quantized.astype(values.dtype, copy=False)
+    out = np.empty(values.shape, dtype=values.dtype)
+    for member in range(values.shape[0]):
+        out[member] = quantize_array(values[member], bits)
+    return out
+
+
 def fake_quantize(values: np.ndarray, bits: int) -> np.ndarray:
     """Quantize-dequantize pass-through used by the straight-through QAT."""
     return quantize_array(values, bits)

@@ -23,13 +23,16 @@ from repro.sim.noise import (
     ResidualDriftChannel,
     ThermalCrosstalkChannel,
     default_noise_stack,
+    ensemble_apply,
 )
 from repro.sim.photonic_inference import (
+    EnsembleInferenceEngine,
     MonteCarloAccuracy,
     PhotonicInferenceEngine,
     PhotonicInferenceResult,
     accuracy_vs_residual_drift,
     clear_ideal_accuracy_cache,
+    evaluate_ensemble,
     ideal_model_accuracy,
     monte_carlo_accuracy,
 )
@@ -42,10 +45,12 @@ from repro.sim.simulator import (
     simulate_models,
 )
 from repro.sim.sweep import (
+    SweepExecutor,
     SweepPoint,
     SweepResult,
     grid,
     memoize,
+    plan_chunks,
     run_sweep,
     zipped,
 )
@@ -58,6 +63,7 @@ from repro.sim.tracer import (
 
 __all__ = [
     "ComparisonResult",
+    "EnsembleInferenceEngine",
     "FPVDriftChannel",
     "InterChannelCrosstalkChannel",
     "MonteCarloAccuracy",
@@ -67,16 +73,20 @@ __all__ = [
     "PhotonicInferenceResult",
     "QuantizationChannel",
     "ResidualDriftChannel",
+    "SweepExecutor",
     "SweepPoint",
     "SweepResult",
     "ThermalCrosstalkChannel",
     "accuracy_vs_residual_drift",
     "clear_ideal_accuracy_cache",
     "default_noise_stack",
+    "ensemble_apply",
+    "evaluate_ensemble",
     "grid",
     "ideal_model_accuracy",
     "memoize",
     "monte_carlo_accuracy",
+    "plan_chunks",
     "run_sweep",
     "zipped",
     "WorkloadSummary",

@@ -33,6 +33,19 @@ stateless between calls (randomness comes from the generator passed to
 dataclasses), which lets Monte-Carlo sweeps fan them out across a process
 pool via :func:`repro.sim.sweep.run_sweep`.
 
+They are also **ensemble-vectorized**: every built-in channel (and any
+stack of them) evaluates E independent noise realisations of one weight
+tensor in a single fused pass -- ``apply_many(weights, rngs)`` returns an
+``(E, *weights.shape)`` stack whose member ``e`` is elementwise identical to
+``apply(weights, rngs[e])``, and ``apply_stacked`` maps an already-stacked
+ensemble through the channel (the composition primitive
+:class:`NoiseStack` and the ensemble inference engine build on).  Random
+draws loop over members so each generator sees its sequential stream; the
+heavy device physics (Lorentzians, phi-matrix mixing, quantization grids)
+runs once over the whole stack.  Third-party channels that only implement
+``apply`` compose transparently through a per-member fallback loop in
+:func:`ensemble_apply`.
+
 Conventions
 -----------
 Channels receive the raw (signed) weight tensor.  Device-physics channels
@@ -46,6 +59,7 @@ onto the accelerator's MR banks.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
@@ -54,7 +68,7 @@ import numpy as np
 from repro.crosstalk.interchannel import bank_crosstalk_matrix
 from repro.devices.constants import OPTIMIZED_MR, MRDesignParameters
 from repro.devices.mr import MicroringResonator
-from repro.nn.quantization import quantize_array
+from repro.nn.quantization import quantize_array, quantize_array_stack
 from repro.utils.validation import check_non_negative, check_positive, check_positive_int
 from repro.variations.fpv import (
     ProcessVariationModel,
@@ -72,6 +86,7 @@ __all__ = [
     "ResidualDriftChannel",
     "ThermalCrosstalkChannel",
     "default_noise_stack",
+    "ensemble_apply",
 ]
 
 
@@ -92,6 +107,86 @@ class NoiseChannel(Protocol):
     def describe(self) -> str:
         """One-line human-readable summary for reports and result records."""
         ...
+
+
+def ensemble_apply(
+    channel: NoiseChannel,
+    stacked: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """Apply ``channel`` to every member of a stacked ensemble.
+
+    ``stacked`` has shape ``(E, *shape)`` with ``E == len(rngs)``: member
+    ``e``'s weight tensor is ``stacked[e]`` and is perturbed with ``rngs[e]``.
+    Channels providing a vectorized ``apply_stacked`` (all built-ins) process
+    the whole stack in fused array operations; any other object satisfying
+    the :class:`NoiseChannel` protocol falls back to a per-member loop of
+    :meth:`~NoiseChannel.apply`, so third-party channels compose with the
+    ensemble inference path unchanged.
+
+    Either way the output is elementwise identical to the per-member loop:
+    member ``e`` sees exactly the weights, arithmetic, and random draws it
+    would see under ``channel.apply(stacked[e], rngs[e])``.
+    """
+    vectorized = getattr(channel, "apply_stacked", None)
+    if vectorized is not None:
+        return vectorized(stacked, rngs)
+    return np.stack(
+        [np.asarray(channel.apply(stacked[e], rngs[e]), dtype=float) for e in range(len(rngs))]
+    )
+
+
+class _EnsembleChannelMixin:
+    """Vectorized many-seed evaluation shared by the built-in channels.
+
+    Sub-classes implement ``apply_stacked(stacked, rngs)`` mapping an
+    ``(E, *shape)`` stack of per-member weight tensors to the perturbed
+    ``(E, *shape)`` stack; this mixin derives the user-facing
+    :meth:`apply_many`, which perturbs one shared base tensor under ``E``
+    independent generators (the Monte-Carlo "many wafer draws of one trained
+    model" shape).
+
+    Channels may additionally override :meth:`apply_fanout`, which receives
+    the still-shared base tensor and may return either a *base-shaped* array
+    (the channel is deterministic and its output remains common to every
+    member -- quantization and the crosstalk mixers do this, so one
+    evaluation serves all E members) or an ``(E, *shape)`` stack (the
+    channel consumes randomness and forks the ensemble; the drift channels
+    do this while still computing their member-independent device physics --
+    normalised magnitudes, Lorentzian error profiles -- exactly once).  A
+    channel must only return a base-shaped array if ``apply`` ignores the
+    generator entirely; the default forks immediately, which is always
+    correct.
+    """
+
+    def apply_fanout(
+        self, base: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Apply to a shared base tensor; may stay shared (see class docs)."""
+        stacked = np.broadcast_to(base, (len(rngs), *base.shape))
+        return self.apply_stacked(stacked, rngs)
+
+    def apply_many(
+        self, weights: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Perturb ``weights`` once per generator; returns ``(E, *shape)``.
+
+        Member ``e`` of the result is elementwise identical to
+        ``self.apply(weights, rngs[e])``.
+        """
+        rngs = list(rngs)
+        if not rngs:
+            raise ValueError("apply_many requires at least one generator")
+        base = np.asarray(weights, dtype=float)
+        out = np.asarray(self.apply_fanout(base, rngs), dtype=float)
+        if out.ndim == base.ndim:
+            # Fully deterministic: every member shares one evaluation.
+            stacked = np.empty((len(rngs), *base.shape), dtype=float)
+            stacked[...] = out
+            return stacked
+        if np.may_share_memory(out, base):
+            out = np.array(out, dtype=float)
+        return out
 
 
 # ---------------------------------------------------------------------- #
@@ -131,11 +226,51 @@ def _recompose(weights: np.ndarray, magnitudes: np.ndarray, max_abs: float) -> n
     return (np.sign(weights).ravel() * magnitudes * max_abs).reshape(weights.shape)
 
 
+# -- stacked (ensemble-axis) variants of the helpers above -------------- #
+def _stacked_magnitudes(stacked: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-member dynamic ranges and normalised magnitudes of an ensemble.
+
+    ``stacked`` is ``(E, *shape)``; returns ``(magnitudes, max_abs, zero)``
+    where ``magnitudes`` is ``(E, n)`` (flattened per member), ``max_abs`` is
+    the per-member dynamic range, and ``zero`` marks members whose tensor is
+    all zero (their magnitudes are passed through undivided, mirroring the
+    scalar helper's early return, and callers must restore them verbatim).
+    """
+    n_members = stacked.shape[0]
+    flat = np.abs(stacked.reshape(n_members, -1))
+    max_abs = np.max(flat, axis=1)
+    zero = max_abs == 0.0
+    safe = np.where(zero, 1.0, max_abs)
+    return flat / safe[:, None], max_abs, zero
+
+
+def _to_banks_stacked(flat: np.ndarray, bank_size: int) -> np.ndarray:
+    """Per-member :func:`_to_banks`: ``(E, n)`` -> ``(E, n_banks, bank_size)``."""
+    n_members, n = flat.shape
+    n_banks = -(-n // bank_size)
+    padded = np.zeros((n_members, n_banks * bank_size))
+    padded[:, :n] = flat
+    return padded.reshape(n_members, n_banks, bank_size)
+
+
+def _recompose_stacked(
+    stacked: np.ndarray, magnitudes: np.ndarray, max_abs: np.ndarray, zero: np.ndarray
+) -> np.ndarray:
+    """Per-member :func:`_recompose`, restoring all-zero members verbatim."""
+    n_members = stacked.shape[0]
+    flat = stacked.reshape(n_members, -1)
+    safe = np.where(zero, 1.0, max_abs)
+    out = (np.sign(flat) * magnitudes * safe[:, None]).reshape(stacked.shape)
+    if zero.any():
+        out[zero] = stacked[zero]
+    return out
+
+
 # ---------------------------------------------------------------------- #
 # Concrete channels
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
-class QuantizationChannel:
+class QuantizationChannel(_EnsembleChannelMixin):
     """Finite weight resolution of the crosstalk-limited MR banks.
 
     ``bits=None`` models an ideal (infinite-resolution) DAC and is an exact
@@ -154,6 +289,21 @@ class QuantizationChannel:
             return weights
         return quantize_array(weights, self.bits)
 
+    def apply_stacked(
+        self, stacked: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Quantize every ensemble member to its own dynamic range at once."""
+        stacked = np.asarray(stacked, dtype=float)
+        if self.bits is None:
+            return stacked
+        return quantize_array_stack(stacked, self.bits)
+
+    def apply_fanout(
+        self, base: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Deterministic: one quantization serves every ensemble member."""
+        return self.apply(base, rngs[0])
+
     def describe(self) -> str:
         if self.bits is None:
             return "quantization(off)"
@@ -161,7 +311,7 @@ class QuantizationChannel:
 
 
 @dataclass(frozen=True)
-class ResidualDriftChannel:
+class ResidualDriftChannel(_EnsembleChannelMixin):
     """Uniform uncompensated resonance drift (what survives the tuning loop).
 
     Every ring is assumed to sit ``residual_drift_nm`` away from its
@@ -193,12 +343,64 @@ class ResidualDriftChannel:
         signs = rng.choice([-1.0, 1.0], size=errors.shape)
         return weights + signs * errors * max_abs
 
+    def apply_stacked(
+        self, stacked: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """One Lorentzian evaluation for all members; per-member error signs.
+
+        The random error signs are the only per-member sequential work --
+        each member's draw comes from its own generator in exactly the order
+        :meth:`apply` would consume it (all-zero members draw nothing, like
+        the scalar path's early return).
+        """
+        stacked = np.asarray(stacked, dtype=float)
+        if self.residual_drift_nm <= 0.0 or stacked[0].size == 0:
+            return stacked
+        n_members = stacked.shape[0]
+        max_abs = np.max(np.abs(stacked.reshape(n_members, -1)), axis=1)
+        zero = max_abs == 0.0
+        shaped = np.where(zero, 1.0, max_abs).reshape((n_members,) + (1,) * (stacked.ndim - 1))
+        normalised = np.abs(stacked) / shaped
+        errors = np.asarray(
+            self.mr.transmission_error_from_drift(normalised, self.residual_drift_nm)
+        )
+        signs = np.zeros_like(stacked)
+        for index, rng in enumerate(rngs):
+            if not zero[index]:
+                signs[index] = rng.choice([-1.0, 1.0], size=stacked.shape[1:])
+        out = stacked + signs * errors * shaped
+        if zero.any():
+            out[zero] = stacked[zero]
+        return out
+
+    def apply_fanout(
+        self, base: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Shared-base fast path: one Lorentzian profile, per-member signs.
+
+        The error *magnitudes* depend only on the (shared) normalised
+        weights, so they are computed once; only the random sign field is
+        per-member work.
+        """
+        base = np.asarray(base, dtype=float)
+        if self.residual_drift_nm <= 0.0:
+            return base
+        max_abs = float(np.max(np.abs(base))) if base.size else 0.0
+        if max_abs == 0.0:
+            return base
+        normalised = np.abs(base) / max_abs
+        errors = np.asarray(
+            self.mr.transmission_error_from_drift(normalised, self.residual_drift_nm)
+        )
+        signs = np.stack([rng.choice([-1.0, 1.0], size=base.shape) for rng in rngs])
+        return base + signs * errors * max_abs
+
     def describe(self) -> str:
         return f"residual-drift({self.residual_drift_nm:g} nm)"
 
 
 @dataclass(frozen=True)
-class FPVDriftChannel:
+class FPVDriftChannel(_EnsembleChannelMixin):
     """Monte-Carlo fabrication-process-variation resonance drift.
 
     Each ring draws a signed drift from the wafer statistics of a
@@ -254,6 +456,74 @@ class FPVDriftChannel:
         perturbed = np.clip(magnitudes + (realised - ideal), 0.0, 1.0)
         return _recompose(weights, perturbed, max_abs)
 
+    def apply_stacked(
+        self, stacked: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Sample every member's wafer draw, then one fused Lorentzian pass.
+
+        The banked drift sampling loops over members (each generator must
+        produce exactly the draws :meth:`apply` would consume), but the
+        expensive part -- mapping ``E x n_rings`` drifts through the ring's
+        realised-transmission Lorentzian -- happens in one vectorized call.
+        """
+        stacked = np.asarray(stacked, dtype=float)
+        sigma = self.sigma_nm
+        if sigma <= 0.0 or stacked[0].size == 0:
+            return stacked
+        magnitudes, max_abs, zero = _stacked_magnitudes(stacked)
+        n_members, n_rings = magnitudes.shape
+        drifts = np.zeros((n_members, n_rings))
+        for index, rng in enumerate(rngs):
+            if not zero[index]:
+                drifts[index] = sample_banked_drifts(
+                    rng,
+                    n_rings,
+                    sigma,
+                    bank_size=self.mrs_per_bank,
+                    bank_correlation=self.bank_correlation,
+                )
+        mr = MicroringResonator(design=self.design)
+        realised = np.asarray(mr.realised_transmission(magnitudes, drifts))
+        ideal = np.asarray(mr.realised_transmission(magnitudes, 0.0))
+        perturbed = np.clip(magnitudes + (realised - ideal), 0.0, 1.0)
+        return _recompose_stacked(stacked, perturbed, max_abs, zero)
+
+    def apply_fanout(
+        self, base: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Shared-base fast path: shared magnitudes/ideal, per-member drifts.
+
+        The normalised magnitudes and the zero-drift (ideal) transmissions
+        depend only on the shared base tensor and are evaluated once; each
+        member contributes its wafer draw and one row of the fused
+        realised-transmission Lorentzian.
+        """
+        base = np.asarray(base, dtype=float)
+        sigma = self.sigma_nm
+        if sigma <= 0.0 or base.size == 0:
+            return base
+        magnitudes, max_abs = _tensor_magnitudes(base)
+        if max_abs == 0.0:
+            return base
+        drifts = np.stack(
+            [
+                sample_banked_drifts(
+                    rng,
+                    magnitudes.size,
+                    sigma,
+                    bank_size=self.mrs_per_bank,
+                    bank_correlation=self.bank_correlation,
+                )
+                for rng in rngs
+            ]
+        )
+        mr = MicroringResonator(design=self.design)
+        realised = np.asarray(mr.realised_transmission(magnitudes, drifts))
+        ideal = np.asarray(mr.realised_transmission(magnitudes, 0.0))
+        perturbed = np.clip(magnitudes + (realised - ideal), 0.0, 1.0)
+        signs = np.sign(base).ravel()
+        return (signs * perturbed * max_abs).reshape(len(rngs), *base.shape)
+
     def describe(self) -> str:
         return (
             f"fpv-drift({self.design.name}, sigma={self.sigma_nm:.3g} nm, "
@@ -262,7 +532,7 @@ class FPVDriftChannel:
 
 
 @dataclass(frozen=True)
-class InterChannelCrosstalkChannel:
+class InterChannelCrosstalkChannel(_EnsembleChannelMixin):
     """Spectral crosstalk between the WDM channels of an MR bank (Eq. 8-10).
 
     Consecutive weights share a bank of ``mrs_per_bank`` rings spread across
@@ -316,6 +586,36 @@ class InterChannelCrosstalkChannel:
         perturbed = np.clip(banks + noise, 0.0, 1.0)
         return _recompose(weights, _from_banks(perturbed, magnitudes.size), max_abs)
 
+    def apply_stacked(
+        self, stacked: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Mix every member's banks through the phi-matrix in one matmul.
+
+        Deterministic channel: the stacked ``(E, n_banks, bank) @ phi``
+        product runs the same per-slice GEMM as the scalar path, so members
+        are elementwise identical to looping :meth:`apply`.
+        """
+        stacked = np.asarray(stacked, dtype=float)
+        rejection = 10.0 ** (-self.calibration_rejection_db / 10.0)
+        if rejection == 0.0 or stacked[0].size == 0:
+            return stacked
+        magnitudes, max_abs, zero = _stacked_magnitudes(stacked)
+        phi = bank_crosstalk_matrix(
+            self.mrs_per_bank, self.channel_spacing_nm, self.quality_factor
+        )
+        banks = _to_banks_stacked(magnitudes, self.mrs_per_bank)
+        noise = rejection * (banks @ phi)
+        perturbed = np.clip(banks + noise, 0.0, 1.0)
+        n_members, n = magnitudes.shape
+        unbanked = perturbed.reshape(n_members, -1)[:, :n]
+        return _recompose_stacked(stacked, unbanked, max_abs, zero)
+
+    def apply_fanout(
+        self, base: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Deterministic: one phi-matrix mixing serves every member."""
+        return self.apply(base, rngs[0])
+
     def describe(self) -> str:
         return (
             f"interchannel-crosstalk({self.mrs_per_bank} ch, "
@@ -324,7 +624,7 @@ class InterChannelCrosstalkChannel:
 
 
 @dataclass(frozen=True)
-class ThermalCrosstalkChannel:
+class ThermalCrosstalkChannel(_EnsembleChannelMixin):
     """Heater phase leakage between neighbouring rings of a bank (Fig. 4).
 
     Imprinting a weight detunes its ring by a heater-driven resonance shift;
@@ -369,6 +669,32 @@ class ThermalCrosstalkChannel:
         perturbed = np.clip(banks + (realised - ideal), 0.0, 1.0)
         return _recompose(weights, _from_banks(perturbed, magnitudes.size), max_abs)
 
+    def apply_stacked(
+        self, stacked: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Leak every member's heater detunings in one stacked matmul."""
+        stacked = np.asarray(stacked, dtype=float)
+        if self.coupling_scale <= 0.0 or stacked[0].size == 0:
+            return stacked
+        magnitudes, max_abs, zero = _stacked_magnitudes(stacked)
+        coupling = self.model.crosstalk_matrix(self.mrs_per_bank, self.pitch_um)
+        off_diagonal = coupling - np.eye(self.mrs_per_bank)
+        banks = _to_banks_stacked(magnitudes, self.mrs_per_bank)
+        detunings = np.asarray(self.mr.detuning_for_transmission(banks))
+        leaked_nm = self.coupling_scale * (detunings @ off_diagonal)
+        realised = np.asarray(self.mr.realised_transmission(banks, leaked_nm))
+        ideal = np.asarray(self.mr.realised_transmission(banks, 0.0))
+        perturbed = np.clip(banks + (realised - ideal), 0.0, 1.0)
+        n_members, n = magnitudes.shape
+        unbanked = perturbed.reshape(n_members, -1)[:, :n]
+        return _recompose_stacked(stacked, unbanked, max_abs, zero)
+
+    def apply_fanout(
+        self, base: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Deterministic: one heater-leakage evaluation serves every member."""
+        return self.apply(base, rngs[0])
+
     def describe(self) -> str:
         return (
             f"thermal-crosstalk(pitch={self.pitch_um:g} um, "
@@ -380,7 +706,7 @@ class ThermalCrosstalkChannel:
 # Composition
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True, init=False)
-class NoiseStack:
+class NoiseStack(_EnsembleChannelMixin):
     """Ordered composition of noise channels; itself a :class:`NoiseChannel`.
 
     Channels are applied left to right, each seeing the previous channel's
@@ -424,6 +750,57 @@ class NoiseStack:
             out = channel.apply(out, rng)
         if np.may_share_memory(out, source):
             out = np.array(out, dtype=float)
+        return out
+
+    def apply_stacked(
+        self, stacked: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Thread a whole ensemble through every channel in order.
+
+        Member ``e`` sees exactly the channel sequence and random draws that
+        ``self.apply(stacked[e], rngs[e])`` would produce: each member owns
+        its generator, so interleaving members *within* a channel cannot
+        change any member's stream.  Channels without a vectorized
+        ``apply_stacked`` fall back to a per-member loop for that channel
+        only (see :func:`ensemble_apply`).
+        """
+        rngs = list(rngs)
+        source = np.asarray(stacked, dtype=float)
+        out = source
+        for channel in self.channels:
+            out = ensemble_apply(channel, out, rngs)
+        if np.may_share_memory(out, source):
+            out = np.array(out, dtype=float)
+        return out
+
+    def apply_fanout(
+        self, base: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Thread a shared base tensor, forking at the first stochastic channel.
+
+        The deterministic prefix of the stack (quantization, crosstalk
+        mixing) runs *once* on the shared tensor instead of once per member;
+        the ensemble forks to an ``(E, ...)`` stack at the first channel
+        whose fanout returns per-member output (or at the first third-party
+        channel without a fanout, which must be assumed stochastic), and the
+        remaining channels run on the stack.
+        """
+        rngs = list(rngs)
+        out = np.asarray(base, dtype=float)
+        base_ndim = out.ndim
+        forked = False
+        for channel in self.channels:
+            if forked:
+                out = ensemble_apply(channel, out, rngs)
+                continue
+            fanout = getattr(channel, "apply_fanout", None)
+            if fanout is None:
+                stacked = np.broadcast_to(out, (len(rngs), *out.shape))
+                out = ensemble_apply(channel, stacked, rngs)
+                forked = True
+            else:
+                out = np.asarray(fanout(out, rngs), dtype=float)
+                forked = out.ndim == base_ndim + 1
         return out
 
     def describe(self) -> str:

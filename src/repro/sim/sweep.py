@@ -44,13 +44,70 @@ from repro.utils.cache import CacheInfo, memoize
 
 __all__ = [
     "CacheInfo",
+    "SweepExecutor",
     "SweepPoint",
     "SweepResult",
     "grid",
     "memoize",
+    "plan_chunks",
     "run_sweep",
     "zipped",
 ]
+
+
+# ---------------------------------------------------------------------- #
+# Chunk planning
+# ---------------------------------------------------------------------- #
+def plan_chunks(
+    n_items: int, n_chunks: int | None = None, chunk_size: int | None = None
+) -> list[range]:
+    """Split ``range(n_items)`` into contiguous, near-equal chunks.
+
+    This is the one chunking policy shared by everything that bounds work or
+    memory by splitting an axis: the ensemble inference engine chunking its
+    member axis, :func:`repro.sim.photonic_inference.monte_carlo_accuracy`
+    spreading seed chunks over a process pool, and :class:`SweepExecutor`
+    batching sweep points per worker task.
+
+    Parameters
+    ----------
+    n_items:
+        Total number of items (``0`` yields no chunks).
+    n_chunks:
+        Desired number of chunks; capped at ``n_items`` and sized within one
+        item of each other (``numpy.array_split`` semantics), preserving
+        order.
+    chunk_size:
+        Alternative spelling: maximum items per chunk.  Exactly one of
+        ``n_chunks`` / ``chunk_size`` must be given.
+
+    Returns
+    -------
+    list of range
+        Contiguous index ranges covering ``0..n_items`` in order.
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    if (n_chunks is None) == (chunk_size is None):
+        raise ValueError("pass exactly one of n_chunks / chunk_size")
+    if n_items == 0:
+        return []
+    if chunk_size is not None:
+        check = int(chunk_size)
+        if check < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        return [range(start, min(start + check, n_items)) for start in range(0, n_items, check)]
+    count = min(int(n_chunks), n_items)
+    if count < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    base, extra = divmod(n_items, count)
+    chunks: list[range] = []
+    start = 0
+    for index in range(count):
+        stop = start + base + (1 if index < extra else 0)
+        chunks.append(range(start, stop))
+        start = stop
+    return chunks
 
 
 # ---------------------------------------------------------------------- #
@@ -155,10 +212,80 @@ def _evaluate_in_worker(params: dict[str, Any]) -> Any:
     return _WORKER_FN(**params)
 
 
+def _evaluate_chunk(fn: Callable[..., Any], chunk: list[dict[str, Any]]) -> list[Any]:
+    """Evaluate a contiguous chunk of points in one worker task."""
+    return [fn(**point) for point in chunk]
+
+
+class SweepExecutor:
+    """A reusable process pool for repeated sweeps.
+
+    :func:`run_sweep` builds (and tears down) a fresh
+    :class:`~concurrent.futures.ProcessPoolExecutor` per call, which is the
+    right default for one-off sweeps but makes workflows that issue *many*
+    sweeps -- Monte-Carlo studies per model, repeated drift scans, the
+    experiment drivers run back to back -- pay worker start-up every time.
+    A ``SweepExecutor`` owns one pool, created lazily on first use and kept
+    alive until :meth:`shutdown` (it is also a context manager), so repeated
+    ``run_sweep(..., executor=executor)`` calls reuse warm workers.
+
+    Because the pool outlives any single sweep, the evaluation function
+    cannot be installed once per worker the way :func:`run_sweep`'s private
+    pool does; instead points are batched into :func:`plan_chunks` chunks and
+    the function is shipped once per chunk (not once per point), keeping the
+    IPC overhead at ``O(n_workers)`` rather than ``O(n_points)``.
+
+    Example
+    -------
+    >>> with SweepExecutor(n_workers=4) as executor:
+    ...     for model in models:
+    ...         run_sweep(fn, points(model), executor=executor)
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if isinstance(n_workers, bool) or not isinstance(n_workers, int):
+            raise TypeError(f"n_workers must be an int, got {n_workers!r}")
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._pool
+
+    def map(self, fn: Callable[..., Any], point_params: Sequence[dict[str, Any]]) -> list[Any]:
+        """Evaluate ``fn(**point)`` for every point, preserving input order."""
+        if len(point_params) <= 1:
+            return [fn(**point) for point in point_params]
+        pool = self._ensure_pool()
+        # A few chunks per worker balances load without re-pickling fn often.
+        chunks = plan_chunks(len(point_params), n_chunks=self.n_workers * 4)
+        futures = [
+            pool.submit(_evaluate_chunk, fn, [point_params[i] for i in chunk])
+            for chunk in chunks
+        ]
+        return [value for future in futures for value in future.result()]
+
+    def shutdown(self) -> None:
+        """Stop the pool's workers (the executor can be reused afterwards)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+
 def run_sweep(
     fn: Callable[..., Any],
     params: Sequence[Mapping[str, Any]] | Iterable[Mapping[str, Any]],
     n_workers: int | None = None,
+    executor: SweepExecutor | None = None,
 ) -> SweepResult:
     """Evaluate ``fn`` at every parameter point and collect the results.
 
@@ -178,6 +305,11 @@ def run_sweep(
         fan the points out over a :class:`~concurrent.futures.\
 ProcessPoolExecutor` with at most that many workers; results still come
         back in sweep order.
+    executor:
+        Optional persistent :class:`SweepExecutor`.  When given it takes
+        precedence over ``n_workers``: points run on the executor's warm
+        worker pool instead of a fresh per-sweep pool, which amortises pool
+        start-up across repeated sweeps.
 
     Returns
     -------
@@ -199,7 +331,9 @@ ProcessPoolExecutor` with at most that many workers; results still come
             raise ValueError(f"n_workers must be >= 0, got {n_workers}")
 
     serial = n_workers is None or n_workers <= 1 or len(point_params) <= 1
-    if serial:
+    if executor is not None:
+        values = executor.map(fn, point_params)
+    elif serial:
         values = [fn(**point) for point in point_params]
     else:
         max_workers = min(n_workers, len(point_params))
