@@ -1,7 +1,7 @@
 """Guard the tracked hot paths against performance regressions.
 
 Compares a fresh pytest-benchmark JSON run against the committed baseline
-(``benchmarks/BENCH_PR3.json``) and fails (exit code 1) if any tracked
+(``benchmarks/BENCH_PR4.json``) and fails (exit code 1) if any tracked
 benchmark regressed beyond the threshold.
 
 Because CI machines and the machine that produced the baseline differ in
@@ -16,9 +16,9 @@ deliberately not flagged.
 
 Usage::
 
-    PYTHONPATH=src python -m pytest benchmarks -q --benchmark-json=BENCH_PR3.json
-    python benchmarks/compare.py BENCH_PR3.json                # check
-    python benchmarks/compare.py BENCH_PR3.json --update       # refresh baseline
+    PYTHONPATH=src python -m pytest benchmarks -q --benchmark-json=BENCH_PR4.json
+    python benchmarks/compare.py BENCH_PR4.json                # check
+    python benchmarks/compare.py BENCH_PR4.json --update       # refresh baseline
 """
 
 from __future__ import annotations
@@ -30,7 +30,7 @@ import statistics
 import sys
 from pathlib import Path
 
-DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_PR3.json"
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_PR4.json"
 DEFAULT_THRESHOLD = 1.20
 
 

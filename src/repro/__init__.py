@@ -43,6 +43,15 @@ Accuracy under a custom stack of non-idealities::
     stack = NoiseStack([QuantizationChannel(16), FPVDriftChannel()])
     result = monte_carlo_accuracy(model, test_x, test_y, stack, seeds=8)
     print(result.mean_accuracy, result.std_accuracy)
+
+Request-level serving simulation (:mod:`repro.serve`)::
+
+    from repro import BatchPolicy, PoissonTraffic, serve_trace
+
+    report = serve_trace(model, accelerator,
+                         PoissonTraffic(rate_rps=1e5, duration_s=0.05),
+                         BatchPolicy(max_batch_size=8, max_wait_s=100e-6))
+    print(report.throughput_rps, report.p99_latency_s)
 """
 
 from repro.sim.noise import (
@@ -64,10 +73,23 @@ from repro.sim.photonic_inference import (
     evaluate_ensemble,
     monte_carlo_accuracy,
 )
+from repro.serve import (
+    BatchPolicy,
+    BurstyTraffic,
+    DiurnalTraffic,
+    PoissonTraffic,
+    ServingReport,
+    ServingRuntime,
+    TraceTraffic,
+    serve_trace,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "BatchPolicy",
+    "BurstyTraffic",
+    "DiurnalTraffic",
     "EnsembleInferenceEngine",
     "FPVDriftChannel",
     "InterChannelCrosstalkChannel",
@@ -76,12 +98,17 @@ __all__ = [
     "NoiseStack",
     "PhotonicInferenceEngine",
     "PhotonicInferenceResult",
+    "PoissonTraffic",
     "QuantizationChannel",
     "ResidualDriftChannel",
+    "ServingReport",
+    "ServingRuntime",
     "ThermalCrosstalkChannel",
+    "TraceTraffic",
     "__version__",
     "accuracy_vs_residual_drift",
     "default_noise_stack",
     "evaluate_ensemble",
     "monte_carlo_accuracy",
+    "serve_trace",
 ]

@@ -115,12 +115,62 @@ class PhotonicAccelerator:
                 total_cycles += plan.cycles_on_units(self.n_fc_units)
         return total_cycles
 
+    def weight_update_time_s(self) -> float:
+        """Weight-programming share of one operation cycle.
+
+        The remainder of :meth:`cycle_time_s` is the streaming share
+        (activation imprint, optical propagation, detection, conversion),
+        which repeats for every frame of a batch while the programmed
+        weights are held.  Sub-classes whose cycle time includes a tuning
+        latency override this; the conservative default of ``0.0`` grants
+        no batching amortization.
+        """
+        return 0.0
+
+    def streaming_cycle_time_s(self) -> float:
+        """Per-frame share of one operation cycle (cycle minus weight update)."""
+        streaming = self.cycle_time_s() - self.weight_update_time_s()
+        if streaming <= 0:
+            raise ValueError(
+                "weight_update_time_s must be smaller than cycle_time_s "
+                f"(got update {self.weight_update_time_s()} s of "
+                f"{self.cycle_time_s()} s)"
+            )
+        return streaming
+
     def latency_for_workloads(self, workloads: list[LayerWorkload]) -> float:
         """Inference latency in seconds for the given layer workloads."""
         cycles = self.cycles_for_workloads(workloads)
         if cycles == 0:
             raise ValueError("workloads contain no CONV or FC layers to accelerate")
         return cycles * self.cycle_time_s()
+
+    def batch_latency_s(self, workloads: list[LayerWorkload], batch_size: int) -> float:
+        """Latency of one fused micro-batch of ``batch_size`` inferences.
+
+        Within a batch the accelerator is weight-stationary: every distinct
+        weight chunk is programmed once (one frame's worth of cycles pays
+        the :meth:`weight_update_time_s` share) and the programmed bank then
+        streams all ``batch_size`` activation sets, whose cycles pack across
+        frames (:meth:`repro.nn.layers.LayerWorkload.scaled` workloads fill
+        the unit arrays with less rounding waste than ``batch_size``
+        independent frames).  ``batch_size=1`` reduces exactly to
+        :meth:`latency_for_workloads`.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        weight_cycles = self.cycles_for_workloads(workloads)
+        if weight_cycles == 0:
+            raise ValueError("workloads contain no CONV or FC layers to accelerate")
+        if batch_size == 1:
+            return weight_cycles * self.cycle_time_s()
+        streaming_cycles = self.cycles_for_workloads(
+            [workload.scaled(batch_size) for workload in workloads]
+        )
+        return (
+            weight_cycles * self.weight_update_time_s()
+            + streaming_cycles * self.streaming_cycle_time_s()
+        )
 
     def simulate_workloads(
         self, workloads: list[LayerWorkload], model_name: str
@@ -272,6 +322,10 @@ class CrossLightAccelerator(PhotonicAccelerator):
 
     def cycle_time_s(self) -> float:
         return self._conv_unit.operation_latency_s(self.config.weight_update_latency_s)
+
+    def weight_update_time_s(self) -> float:
+        """EO weight programming share of the cycle (amortized when batching)."""
+        return self.config.weight_update_latency_s
 
     # ------------------------------------------------------------------ #
     # Convenience constructors

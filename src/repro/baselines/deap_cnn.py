@@ -130,3 +130,7 @@ class DeapCnnAccelerator(PhotonicAccelerator):
     def cycle_time_s(self) -> float:
         """Per-operation latency, dominated by the thermo-optic weight update."""
         return self._unit.operation_latency_s(TO_TUNING.latency_s)
+
+    def weight_update_time_s(self) -> float:
+        """TO weight programming share of the cycle (amortized when batching)."""
+        return TO_TUNING.latency_s

@@ -191,3 +191,7 @@ class HolyLightAccelerator(PhotonicAccelerator):
             PHOTODETECTOR.latency_s + TIA.latency_s + adc.conversion_latency_s
         )
         return self.update_latency_s + chain
+
+    def weight_update_time_s(self) -> float:
+        """Microdisk thermal programming share (amortized when batching)."""
+        return self.update_latency_s

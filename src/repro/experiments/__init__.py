@@ -15,6 +15,9 @@ Module                    Paper artefact
 ``resolution_analysis``   Section V.B -- crosstalk-limited resolution analysis
 ``ablation``              ablations: wavelength reuse, bank size, tuning latency,
                           accuracy vs residual drift
+``serving_study``         beyond the paper: request-level serving study (dynamic
+                          micro-batching, tail latency, saturation) on
+                          :mod:`repro.serve`
 ========================  =========================================================
 
 Every module exposes ``run()`` returning structured result objects (used by
@@ -30,6 +33,7 @@ from repro.experiments import (
     fig7_power,
     fig8_epb,
     resolution_analysis,
+    serving_study,
     table1_models,
     table2_devices,
     table3_summary,
@@ -44,6 +48,7 @@ __all__ = [
     "fig7_power",
     "fig8_epb",
     "resolution_analysis",
+    "serving_study",
     "table1_models",
     "table2_devices",
     "table3_summary",

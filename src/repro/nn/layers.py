@@ -51,6 +51,23 @@ class LayerWorkload:
         """Total multiply-accumulate count of the layer."""
         return self.dot_product_length * self.n_dot_products
 
+    def scaled(self, batch_size: int) -> "LayerWorkload":
+        """The workload of a fused batch of ``batch_size`` inferences.
+
+        Each inference contributes the same dot products, so a batch
+        multiplies the count while the per-dot-product length (set by the
+        layer geometry) is unchanged.  The serving runtime uses this to size
+        micro-batched accelerator dispatches.
+        """
+        check_positive_int("batch_size", batch_size)
+        if batch_size == 1:
+            return self
+        return LayerWorkload(
+            kind=self.kind,
+            dot_product_length=self.dot_product_length,
+            n_dot_products=self.n_dot_products * batch_size,
+        )
+
 
 class Layer:
     """Base class for all layers.

@@ -1,0 +1,153 @@
+"""Admission queue and dynamic micro-batcher.
+
+The batcher implements the classic dynamic-batching policy of DNN serving
+systems: requests for one model queue FIFO, and a batch dispatches when
+
+* the queue holds a **full batch** (``max_batch_size`` requests) and a
+  worker is free -- full batches never wait; or
+* the **oldest queued request** has waited ``max_wait_s`` (its *deadline*)
+  and a worker is free -- partial batches dispatch rather than letting the
+  head request's latency grow unboundedly at low load.
+
+Backpressure is admission control: when ``max_queue_depth`` is set, a
+request arriving at a full queue is **shed** (rejected immediately) instead
+of growing the queue without bound -- the shed rate is a first-class metric
+of the serving report.
+
+Each model gets its own :class:`MicroBatcher` (batches never mix models,
+since a model switch reprograms the accelerator's weight banks); the
+runtime arbitrates across batchers by oldest queue head.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.serve.events import Request
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Dynamic micro-batching policy knobs.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Largest number of requests fused into one accelerator dispatch.
+    max_wait_s:
+        Deadline: the longest a queue head may wait for its batch to fill
+        before a partial batch is dispatched.
+    max_queue_depth:
+        Admission limit per model queue; arrivals beyond it are shed.
+        ``None`` leaves the queue unbounded (no shedding).
+    """
+
+    max_batch_size: int = 8
+    max_wait_s: float = 100e-6
+    max_queue_depth: int | None = None
+
+    def __post_init__(self) -> None:
+        check_positive_int("max_batch_size", self.max_batch_size)
+        check_positive("max_wait_s", self.max_wait_s)
+        if self.max_queue_depth is not None:
+            check_positive_int("max_queue_depth", self.max_queue_depth)
+
+    def describe(self) -> str:
+        """One-line policy description used in serving reports."""
+        depth = "inf" if self.max_queue_depth is None else str(self.max_queue_depth)
+        return (
+            f"batch(max={self.max_batch_size}, wait={self.max_wait_s:g}s, "
+            f"queue={depth})"
+        )
+
+
+class MicroBatcher:
+    """FIFO admission queue + batch-forming logic for one model.
+
+    The batcher holds no clock of its own: the runtime passes the current
+    simulated time into every decision method, which keeps the class
+    trivially testable (property tests drive it with synthetic times).
+    """
+
+    def __init__(self, model: str, policy: BatchPolicy) -> None:
+        self.model = model
+        self.policy = policy
+        self._queue: deque[Request] = deque()
+        self.n_offered = 0
+        self.n_shed = 0
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def depth(self) -> int:
+        """Requests currently waiting (not yet dispatched)."""
+        return len(self._queue)
+
+    def offer(self, request: Request, now_s: float) -> bool:
+        """Admit ``request`` (True) or shed it at a full queue (False)."""
+        if request.model != self.model:
+            raise ValueError(
+                f"request for model {request.model!r} offered to the "
+                f"{self.model!r} batcher"
+            )
+        self.n_offered += 1
+        depth_limit = self.policy.max_queue_depth
+        if depth_limit is not None and len(self._queue) >= depth_limit:
+            self.n_shed += 1
+            return False
+        self._queue.append(request)
+        self.peak_depth = max(self.peak_depth, len(self._queue))
+        return True
+
+    @property
+    def head(self) -> Request | None:
+        """The oldest waiting request, or ``None`` when the queue is empty."""
+        return self._queue[0] if self._queue else None
+
+    @property
+    def head_deadline_s(self) -> float | None:
+        """Time at which the queue head's max-wait deadline expires."""
+        if not self._queue:
+            return None
+        return self._queue[0].arrival_s + self.policy.max_wait_s
+
+    def has_full_batch(self) -> bool:
+        """Whether a full ``max_batch_size`` batch is waiting."""
+        return len(self._queue) >= self.policy.max_batch_size
+
+    def due(self, now_s: float) -> bool:
+        """Whether the queue head has reached its max-wait deadline.
+
+        The comparison is exact: the runtime schedules its deadline events
+        at this same :attr:`head_deadline_s` float, so an event firing "at
+        the deadline" always observes itself as due -- no epsilon needed.
+        """
+        deadline = self.head_deadline_s
+        return deadline is not None and now_s >= deadline
+
+    def dispatchable(self, now_s: float) -> bool:
+        """Whether a batch (full or deadline-expired partial) should dispatch."""
+        return self.has_full_batch() or self.due(now_s)
+
+    def pop_batch(self, now_s: float) -> tuple[tuple[Request, ...], bool]:
+        """Remove and return the next batch and whether its deadline forced it.
+
+        The batch is the oldest ``min(len(queue), max_batch_size)`` requests
+        -- never more than ``max_batch_size``, the invariant the property
+        tests pin.  Popping is only legal when :meth:`dispatchable` holds.
+        """
+        if not self._queue:
+            raise IndexError(f"pop_batch on the empty {self.model!r} queue")
+        if not self.dispatchable(now_s):
+            raise RuntimeError(
+                f"batch for {self.model!r} popped before it was full or due "
+                f"(depth {len(self._queue)}, now {now_s})"
+            )
+        deadline_triggered = not self.has_full_batch()
+        size = min(len(self._queue), self.policy.max_batch_size)
+        batch = tuple(self._queue.popleft() for _ in range(size))
+        return batch, deadline_triggered

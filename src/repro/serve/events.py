@@ -1,0 +1,93 @@
+"""Event and record types of the serving runtime.
+
+The discrete-event loop schedules three event kinds -- request arrivals,
+batch deadlines, and batch completions -- and produces two durable records:
+:class:`Batch` (one accelerator dispatch) and, in :mod:`repro.serve.metrics`,
+per-request latency records.  Everything here is a frozen dataclass so
+records can be collected into hashable, comparable report tuples.
+
+The runtime also keeps a flat *event trace*: one tuple per observable state
+transition, ``(time_s, kind, *ids)``.  Two runs are behaviourally identical
+iff their traces are equal, which is exactly what the determinism tests
+assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Event-trace entry: ``(time_s, kind, *ids)`` where ``kind`` is one of
+#: ``"arrival"``, ``"shed"``, ``"dispatch"``, ``"complete"``.
+TraceEntry = tuple
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request flowing through the serving system."""
+
+    request_id: int
+    model: str
+    arrival_s: float
+    input_index: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError(f"arrival_s must be >= 0, got {self.arrival_s}")
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One micro-batch dispatched to (and executed by) an accelerator worker."""
+
+    batch_id: int
+    model: str
+    requests: tuple[Request, ...]
+    dispatch_s: float
+    worker_id: int
+    latency_s: float
+    energy_j: float
+    deadline_triggered: bool
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a batch must contain at least one request")
+        if self.latency_s <= 0:
+            raise ValueError(f"latency_s must be positive, got {self.latency_s}")
+
+    @property
+    def size(self) -> int:
+        """Number of requests fused into this dispatch."""
+        return len(self.requests)
+
+    @property
+    def completion_s(self) -> float:
+        """Simulated time at which the batch's results are available."""
+        return self.dispatch_s + self.latency_s
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """A request reaches the admission queue."""
+
+    request: Request
+
+
+@dataclass(frozen=True)
+class DeadlineEvent:
+    """The max-wait deadline of a queue head expires.
+
+    Deadline events are advisory wake-ups: the handler re-checks the queue
+    (the armed head may already have dispatched as part of a full batch), so
+    stale events are harmless no-ops and no cancellation machinery is
+    needed.
+    """
+
+    model: str
+    request_id: int
+
+
+@dataclass(frozen=True)
+class CompletionEvent:
+    """A worker finishes a batch and becomes available again."""
+
+    batch: Batch

@@ -1,0 +1,288 @@
+"""SLO metrics collection and the serving report.
+
+The serving runtime reduces a whole discrete-event run to one immutable
+:class:`ServingReport`: per-request latency records, per-batch dispatch
+records, the deterministic event trace, and the derived service-level
+metrics datacenter-inference studies report -- delivered throughput, tail
+latency percentiles (p50/p95/p99), energy per request, fleet utilisation,
+and shed rate.
+
+Conservation is a first-class invariant: every request that arrived is
+accounted for exactly once as completed, shed, still queued, or in flight
+(:attr:`ServingReport.conserved`), which the property tests assert across
+random scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.events import Batch, Request, TraceEntry
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle timestamps of one completed request."""
+
+    request_id: int
+    model: str
+    arrival_s: float
+    dispatch_s: float
+    completion_s: float
+    batch_id: int
+    worker_id: int
+    batch_size: int
+
+    def __post_init__(self) -> None:
+        if not (self.arrival_s <= self.dispatch_s <= self.completion_s):
+            raise ValueError(
+                "request timestamps must be ordered arrival <= dispatch <= "
+                f"completion, got {self.arrival_s}, {self.dispatch_s}, "
+                f"{self.completion_s}"
+            )
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency: arrival to batch completion."""
+        return self.completion_s - self.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Time spent waiting in the admission queue before dispatch."""
+        return self.dispatch_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Everything one serving run produced, plus derived SLO metrics."""
+
+    accelerator: str
+    models: tuple[str, ...]
+    traffic: str
+    policy: str
+    n_workers: int
+    power_w: float
+    duration_s: float
+    horizon_s: float
+    n_arrivals: int
+    n_shed: int
+    n_queued_end: int
+    n_in_flight_end: int
+    requests: tuple[RequestRecord, ...]
+    batches: tuple[Batch, ...]
+    worker_busy_s: tuple[float, ...]
+    peak_queue_depth: int
+    event_trace: tuple[TraceEntry, ...]
+    outputs: dict[int, int] | None = field(default=None, compare=False)
+
+    # ------------------------------------------------------------------ #
+    # Conservation
+    # ------------------------------------------------------------------ #
+    @property
+    def n_completed(self) -> int:
+        """Requests whose batch finished inside the run."""
+        return len(self.requests)
+
+    @property
+    def backlog_end(self) -> int:
+        """Requests admitted but unfinished at the horizon (queued + in flight)."""
+        return self.n_queued_end + self.n_in_flight_end
+
+    @property
+    def conserved(self) -> bool:
+        """Whether every arrival is accounted for exactly once."""
+        return self.n_arrivals == (
+            self.n_completed + self.n_shed + self.n_queued_end + self.n_in_flight_end
+        )
+
+    # ------------------------------------------------------------------ #
+    # Latency
+    # ------------------------------------------------------------------ #
+    @property
+    def latencies_s(self) -> np.ndarray:
+        """Per-completed-request end-to-end latencies, in completion order."""
+        return np.asarray([record.latency_s for record in self.requests])
+
+    def latency_percentile_s(self, percentile: float) -> float:
+        """Latency percentile over completed requests (NaN when none)."""
+        if not self.requests:
+            return float("nan")
+        return float(np.percentile(self.latencies_s, percentile))
+
+    @property
+    def p50_latency_s(self) -> float:
+        """Median end-to-end latency."""
+        return self.latency_percentile_s(50.0)
+
+    @property
+    def p95_latency_s(self) -> float:
+        """95th-percentile end-to-end latency."""
+        return self.latency_percentile_s(95.0)
+
+    @property
+    def p99_latency_s(self) -> float:
+        """99th-percentile end-to-end latency (the headline SLO tail)."""
+        return self.latency_percentile_s(99.0)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end latency over completed requests."""
+        if not self.requests:
+            return float("nan")
+        return float(np.mean(self.latencies_s))
+
+    # ------------------------------------------------------------------ #
+    # Throughput / utilisation / energy
+    # ------------------------------------------------------------------ #
+    @property
+    def offered_rps(self) -> float:
+        """Arrival rate actually offered over the traffic window."""
+        return self.n_arrivals / self.duration_s
+
+    @property
+    def throughput_rps(self) -> float:
+        """Delivered throughput: completions per second of simulated horizon."""
+        return self.n_completed / self.horizon_s if self.horizon_s > 0 else 0.0
+
+    @property
+    def service_throughput_rps(self) -> float:
+        """Capacity actually achieved while busy: completions per busy second.
+
+        This is the batching-efficiency metric: with the fleet saturated it
+        equals delivered throughput, and at partial load it isolates what
+        the configured batch geometry could sustain from how much traffic
+        happened to arrive.
+        """
+        busy = sum(self.worker_busy_s)
+        return self.n_completed / busy if busy > 0 else 0.0
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of fleet capacity spent serving (busy time / horizon)."""
+        if self.horizon_s <= 0:
+            return 0.0
+        return sum(self.worker_busy_s) / (self.n_workers * self.horizon_s)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of arrivals rejected by admission control."""
+        return self.n_shed / self.n_arrivals if self.n_arrivals else 0.0
+
+    @property
+    def total_energy_j(self) -> float:
+        """Accelerator energy of all completed batches (busy-time energy)."""
+        return float(sum(batch.energy_j for batch in self.batches))
+
+    @property
+    def energy_per_request_j(self) -> float:
+        """Busy-time energy per completed request."""
+        if not self.requests:
+            return float("nan")
+        return self.total_energy_j / self.n_completed
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of requests fused per dispatch."""
+        if not self.batches:
+            return float("nan")
+        return self.n_completed / len(self.batches)
+
+    @property
+    def deadline_dispatch_fraction(self) -> float:
+        """Fraction of batches dispatched by deadline rather than filling."""
+        if not self.batches:
+            return float("nan")
+        return sum(batch.deadline_triggered for batch in self.batches) / len(self.batches)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest of the run."""
+        return (
+            f"{self.accelerator} x{self.n_workers} serving {'/'.join(self.models)} "
+            f"under {self.traffic} with {self.policy}: "
+            f"{self.n_completed}/{self.n_arrivals} completed "
+            f"({self.n_shed} shed, {self.backlog_end} backlogged), "
+            f"throughput {self.throughput_rps:,.0f} rps, "
+            f"p50/p95/p99 latency "
+            f"{self.p50_latency_s * 1e6:.1f}/{self.p95_latency_s * 1e6:.1f}/"
+            f"{self.p99_latency_s * 1e6:.1f} us, "
+            f"{self.energy_per_request_j * 1e6:.1f} uJ/request, "
+            f"utilisation {self.utilisation:.1%}, "
+            f"mean batch {self.mean_batch_size:.2f}"
+        )
+
+
+class MetricsCollector:
+    """Accumulates per-run records and finalizes them into a report."""
+
+    def __init__(self) -> None:
+        self.n_arrivals = 0
+        self.n_shed = 0
+        self._requests: list[RequestRecord] = []
+        self._batches: list[Batch] = []
+
+    def record_arrival(self, request: Request) -> None:
+        """Count one offered request (admitted or shed)."""
+        self.n_arrivals += 1
+
+    def record_shed(self, request: Request) -> None:
+        """Count one rejected request."""
+        self.n_shed += 1
+
+    def record_batch(self, batch: Batch) -> None:
+        """Record a completed batch and its requests' lifecycle records."""
+        self._batches.append(batch)
+        for request in batch.requests:
+            self._requests.append(
+                RequestRecord(
+                    request_id=request.request_id,
+                    model=request.model,
+                    arrival_s=request.arrival_s,
+                    dispatch_s=batch.dispatch_s,
+                    completion_s=batch.completion_s,
+                    batch_id=batch.batch_id,
+                    worker_id=batch.worker_id,
+                    batch_size=batch.size,
+                )
+            )
+
+    def finalize(
+        self,
+        *,
+        accelerator: str,
+        models: tuple[str, ...],
+        traffic: str,
+        policy: str,
+        n_workers: int,
+        power_w: float,
+        duration_s: float,
+        horizon_s: float,
+        n_queued_end: int,
+        n_in_flight_end: int,
+        worker_busy_s: tuple[float, ...],
+        peak_queue_depth: int,
+        event_trace: tuple[TraceEntry, ...],
+        outputs: dict[int, int] | None,
+    ) -> ServingReport:
+        """Freeze the accumulated records into a :class:`ServingReport`."""
+        return ServingReport(
+            accelerator=accelerator,
+            models=models,
+            traffic=traffic,
+            policy=policy,
+            n_workers=n_workers,
+            power_w=power_w,
+            duration_s=duration_s,
+            horizon_s=horizon_s,
+            n_arrivals=self.n_arrivals,
+            n_shed=self.n_shed,
+            n_queued_end=n_queued_end,
+            n_in_flight_end=n_in_flight_end,
+            requests=tuple(self._requests),
+            batches=tuple(self._batches),
+            worker_busy_s=worker_busy_s,
+            peak_queue_depth=peak_queue_depth,
+            event_trace=event_trace,
+            outputs=outputs,
+        )

@@ -1,0 +1,434 @@
+"""The serving runtime: traffic -> queues -> micro-batches -> fleet.
+
+:class:`ServingRuntime` is the deterministic discrete-event loop composing
+the other :mod:`repro.serve` pieces: seeded traffic produces
+:class:`~repro.serve.events.Request` arrivals, per-model
+:class:`~repro.serve.batcher.MicroBatcher` queues form dynamic micro-batches
+under a :class:`~repro.serve.batcher.BatchPolicy`, and a
+:class:`~repro.serve.workers.WorkerPool` of simulated accelerators prices
+every dispatch with the analytic
+:meth:`~repro.arch.accelerator.PhotonicAccelerator.batch_latency_s` model
+(optionally also producing functional outputs through per-worker noise
+stacks).  The run reduces to one :class:`~repro.serve.metrics.ServingReport`.
+
+Dispatch discipline (the usual dynamic-batching rule):
+
+* a **full** batch dispatches as soon as a worker is idle;
+* a **partial** batch dispatches only when its head request's
+  ``max_wait_s`` deadline has expired (and a worker is idle);
+* with every worker busy, dispatch re-arbitration happens at the next
+  batch completion;
+* across models, the queue whose head has waited longest goes first
+  (FIFO fairness; ties break on model name, then the event order).
+
+:func:`serve_trace` is the one-call entry point for the common single-model
+scenario; drive :class:`ServingRuntime` directly for multi-model fleets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.arch.accelerator import PhotonicAccelerator
+from repro.nn.model import Sequential, SiameseModel
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.clock import (
+    ARRIVAL_PRIORITY,
+    COMPLETION_PRIORITY,
+    DEADLINE_PRIORITY,
+    EventQueue,
+    SimulationClock,
+)
+from repro.serve.events import (
+    ArrivalEvent,
+    Batch,
+    CompletionEvent,
+    DeadlineEvent,
+    Request,
+)
+from repro.serve.metrics import MetricsCollector, ServingReport
+from repro.serve.traffic import TrafficProcess
+from repro.serve.workers import AcceleratorWorker, WorkerPool
+from repro.sim.noise import NoiseStack
+from repro.sim.photonic_inference import PhotonicInferenceEngine
+from repro.sim.tracer import trace_model
+from repro.utils.validation import check_positive_int
+
+
+def requests_from_traffic(
+    traffic: TrafficProcess,
+    model: str,
+    seed: int = 0,
+    *,
+    start_id: int = 0,
+    n_inputs: int | None = None,
+) -> list[Request]:
+    """Materialise a traffic process into :class:`Request` records.
+
+    ``n_inputs`` attaches a dataset index to each request (round-robin over
+    the dataset) so workers with inference engines can compute functional
+    outputs.
+    """
+    times = traffic.arrival_times(np.random.default_rng(seed))
+    return [
+        Request(
+            request_id=start_id + offset,
+            model=model,
+            arrival_s=float(time),
+            input_index=None if n_inputs is None else (start_id + offset) % n_inputs,
+        )
+        for offset, time in enumerate(times)
+    ]
+
+
+class ServingRuntime:
+    """Deterministic discrete-event serving loop over a simulated fleet.
+
+    Parameters
+    ----------
+    workloads:
+        Per-model layer workloads (``name -> trace_model(model)``); every
+        model named by a request must appear here.
+    accelerator:
+        The analytic accelerator model every fleet worker wraps.
+    policy:
+        Micro-batching policy shared by all per-model queues.
+    n_workers:
+        Fleet size.
+    functional:
+        Optional ``name -> (model object, input array)`` mapping; when a
+        model appears here, every dispatched batch of it also runs the
+        actual inputs through the dispatching worker's inference engine
+        and the report carries per-request predicted classes.
+    engines:
+        Per-worker inference engines (length ``n_workers``); required only
+        when ``functional`` models are served.  Seeding each worker's
+        engine differently models per-device noise diversity across the
+        fleet.
+    """
+
+    def __init__(
+        self,
+        workloads: Mapping[str, list],
+        accelerator: PhotonicAccelerator,
+        policy: BatchPolicy,
+        *,
+        n_workers: int = 1,
+        functional: Mapping[str, tuple[Sequential, np.ndarray]] | None = None,
+        engines: list[PhotonicInferenceEngine] | None = None,
+    ) -> None:
+        check_positive_int("n_workers", n_workers)
+        if not workloads:
+            raise ValueError("at least one model's workloads are required")
+        self.accelerator = accelerator
+        self.policy = policy
+        self.functional = dict(functional) if functional else {}
+        if engines is not None and len(engines) != n_workers:
+            raise ValueError(
+                f"got {len(engines)} engines for {n_workers} workers"
+            )
+        if self.functional and engines is None:
+            raise ValueError("functional serving requires per-worker engines")
+        unknown = set(self.functional) - set(workloads)
+        if unknown:
+            raise ValueError(f"functional models not in workloads: {sorted(unknown)}")
+        self.pool = WorkerPool(
+            [
+                AcceleratorWorker(
+                    worker_id,
+                    accelerator,
+                    engine=None if engines is None else engines[worker_id],
+                )
+                for worker_id in range(n_workers)
+            ],
+            workloads,
+        )
+        # Ordered model list makes cross-queue tie-breaking deterministic.
+        self._batchers = {
+            name: MicroBatcher(name, policy) for name in workloads
+        }
+        self._ran = False
+
+    # ------------------------------------------------------------------ #
+    # Event loop
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        requests: list[Request],
+        duration_s: float,
+        *,
+        drain: bool = True,
+        traffic_description: str = "trace",
+    ) -> ServingReport:
+        """Serve ``requests`` and reduce the run to a :class:`ServingReport`.
+
+        ``drain=True`` keeps serving after the traffic window until every
+        admitted request completes (the report horizon extends to the last
+        completion); ``drain=False`` cuts the run at ``duration_s``,
+        leaving late work counted as queued/in-flight backlog -- the
+        saturation-detection mode.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        if self._ran:
+            # Workers and engines carry consumed state (busy time, RNG
+            # streams); a fresh runtime keeps every run reproducible.
+            raise RuntimeError("a ServingRuntime instance runs once; build a fresh one")
+        self._ran = True
+        clock = SimulationClock()
+        queue = EventQueue()
+        metrics = MetricsCollector()
+        trace: list[tuple] = []
+        outputs: dict[int, int] = {}
+        self._next_batch_id = 0
+        self._last_completion_s = 0.0
+
+        for request in requests:
+            if request.model not in self._batchers:
+                raise KeyError(f"no workloads registered for model {request.model!r}")
+            if request.arrival_s >= duration_s:
+                raise ValueError(
+                    f"request {request.request_id} arrives at {request.arrival_s}, "
+                    f"beyond the {duration_s}s traffic window"
+                )
+            queue.push(request.arrival_s, ARRIVAL_PRIORITY, ArrivalEvent(request))
+
+        while queue:
+            next_time = queue.peek_time_s()
+            if not drain and next_time > duration_s:
+                break
+            time_s, _, _, payload = queue.pop()
+            clock.advance_to(time_s)
+            if isinstance(payload, ArrivalEvent):
+                self._handle_arrival(payload.request, clock, queue, metrics, trace)
+            elif isinstance(payload, DeadlineEvent):
+                self._handle_deadline(payload, clock, queue, metrics, trace, outputs)
+            elif isinstance(payload, CompletionEvent):
+                self._handle_completion(
+                    payload.batch, clock, queue, metrics, trace, outputs
+                )
+            else:  # pragma: no cover - the loop only schedules the three kinds
+                raise TypeError(f"unknown event payload {payload!r}")
+
+        n_in_flight = sum(
+            entry[3].batch.size
+            for entry in queue.drain()
+            if isinstance(entry[3], CompletionEvent)
+        )
+        n_queued = sum(len(batcher) for batcher in self._batchers.values())
+        # The drained horizon ends at the last *completion*, not the clock:
+        # a stale deadline wake-up armed for an already-dispatched head may
+        # tick the clock past the final result and must not stretch the
+        # window throughput and utilisation are measured over.
+        horizon_s = max(duration_s, self._last_completion_s) if drain else duration_s
+        return metrics.finalize(
+            accelerator=self.accelerator.name,
+            models=tuple(self._batchers),
+            traffic=traffic_description,
+            policy=self.policy.describe(),
+            n_workers=len(self.pool),
+            power_w=self.pool.workers[0].power_w,
+            duration_s=duration_s,
+            horizon_s=horizon_s,
+            n_queued_end=n_queued,
+            n_in_flight_end=n_in_flight,
+            worker_busy_s=self.pool.busy_s_per_worker,
+            peak_queue_depth=max(
+                batcher.peak_depth for batcher in self._batchers.values()
+            ),
+            event_trace=tuple(trace),
+            outputs=outputs if self.functional else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Handlers
+    # ------------------------------------------------------------------ #
+    def _handle_arrival(self, request, clock, queue, metrics, trace) -> None:
+        metrics.record_arrival(request)
+        batcher = self._batchers[request.model]
+        if not batcher.offer(request, clock.now_s):
+            metrics.record_shed(request)
+            trace.append((clock.now_s, "shed", request.request_id))
+            return
+        trace.append((clock.now_s, "arrival", request.request_id))
+        if batcher.head is request:
+            # New queue head: arm its max-wait deadline wake-up.
+            queue.push(
+                batcher.head_deadline_s,
+                DEADLINE_PRIORITY,
+                DeadlineEvent(request.model, request.request_id),
+            )
+        self._dispatch_ready(clock, queue, trace)
+
+    def _handle_deadline(self, event, clock, queue, metrics, trace, outputs) -> None:
+        # Advisory wake-up: the armed head may already have dispatched in a
+        # full batch, so only act when the queue really holds a due batch.
+        batcher = self._batchers[event.model]
+        if batcher.due(clock.now_s):
+            self._dispatch_ready(clock, queue, trace)
+
+    def _handle_completion(self, batch, clock, queue, metrics, trace, outputs) -> None:
+        metrics.record_batch(batch)
+        self.pool.workers[batch.worker_id].record_completion(batch.latency_s, batch.size)
+        self._last_completion_s = clock.now_s
+        trace.append((clock.now_s, "complete", batch.batch_id))
+        functional = self.functional.get(batch.model)
+        if functional is not None:
+            model, inputs = functional
+            worker = self.pool.workers[batch.worker_id]
+            indices = [request.input_index for request in batch.requests]
+            if any(index is None for index in indices):
+                raise ValueError(
+                    f"functional model {batch.model!r} received requests "
+                    "without input_index"
+                )
+            predictions = worker.predict(model, inputs[indices])
+            for request, prediction in zip(batch.requests, predictions):
+                outputs[request.request_id] = int(prediction)
+        self._dispatch_ready(clock, queue, trace)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch arbitration
+    # ------------------------------------------------------------------ #
+    def _dispatch_ready(self, clock, queue, trace) -> None:
+        """Dispatch every (batch, idle worker) pairing currently legal."""
+        now = clock.now_s
+        while True:
+            worker = self.pool.idle_worker(now)
+            if worker is None:
+                return
+            candidates = [
+                batcher
+                for batcher in self._batchers.values()
+                if batcher.dispatchable(now)
+            ]
+            if not candidates:
+                return
+            batcher = min(
+                candidates, key=lambda b: (b.head.arrival_s, b.model)
+            )
+            self._dispatch_batch(batcher, worker, clock, queue, trace)
+
+    def _dispatch_batch(self, batcher, worker, clock, queue, trace) -> None:
+        now = clock.now_s
+        requests, deadline_triggered = batcher.pop_batch(now)
+        latency_s = self.pool.batch_latency_s(worker, batcher.model, len(requests))
+        batch = Batch(
+            batch_id=self._next_batch_id,
+            model=batcher.model,
+            requests=requests,
+            dispatch_s=now,
+            worker_id=worker.worker_id,
+            latency_s=latency_s,
+            energy_j=worker.batch_energy_j(latency_s),
+            deadline_triggered=deadline_triggered,
+        )
+        self._next_batch_id += 1
+        worker.dispatch(latency_s, now)
+        queue.push(batch.completion_s, COMPLETION_PRIORITY, CompletionEvent(batch))
+        trace.append(
+            (now, "dispatch", batch.batch_id, worker.worker_id, batch.size, batch.model)
+        )
+        head = batcher.head
+        if head is not None:
+            # Re-arm the wake-up for the new queue head (it may already be
+            # past due, in which case the event fires immediately "now").
+            queue.push(
+                max(now, batcher.head_deadline_s),
+                DEADLINE_PRIORITY,
+                DeadlineEvent(batcher.model, head.request_id),
+            )
+
+
+def serve_trace(
+    model: Sequential | SiameseModel,
+    accelerator: PhotonicAccelerator,
+    traffic: TrafficProcess,
+    policy: BatchPolicy,
+    *,
+    n_workers: int = 1,
+    seed: int = 0,
+    drain: bool = True,
+    inputs: np.ndarray | None = None,
+    noise_stack: NoiseStack | None = None,
+    activation_bits: int | None = None,
+) -> ServingReport:
+    """Serve one model's simulated traffic and return the full report.
+
+    This is the top-level serving API: it materialises ``traffic`` with the
+    given ``seed``, builds a fleet of ``n_workers`` simulated accelerators,
+    runs the discrete-event loop to completion (arrivals always drain), and
+    reduces everything to a :class:`~repro.serve.metrics.ServingReport`.
+
+    Parameters
+    ----------
+    model:
+        The served DNN; only its layer workloads are needed unless
+        ``inputs`` is given.
+    accelerator:
+        Analytic accelerator model each fleet worker wraps.
+    traffic:
+        Seeded arrival process (:mod:`repro.serve.traffic`).
+    policy:
+        Micro-batching policy (:class:`~repro.serve.batcher.BatchPolicy`).
+    n_workers:
+        Fleet size.
+    seed:
+        Master seed: drives the traffic draw and offsets each worker's
+        inference-engine seed (worker ``w`` gets ``seed + w``), so one
+        integer reproduces the entire scenario.
+    drain:
+        ``True`` serves every admitted request to completion; ``False``
+        cuts at the traffic window and reports the backlog (saturation
+        probing).
+    inputs:
+        Optional input dataset; when given (requires a
+        :class:`~repro.nn.model.Sequential` model), requests cycle through
+        it and the report's ``outputs`` maps request ids to predicted
+        classes computed through each worker's noise stack.
+    noise_stack:
+        Noise stack for the functional path (default: noiseless).
+    activation_bits:
+        Activation resolution of the functional path.
+    """
+    name = model.name if hasattr(model, "name") else type(model).__name__
+    workloads = {name: trace_model(model)}
+    functional = None
+    engines = None
+    if inputs is not None:
+        if not isinstance(model, Sequential):
+            raise TypeError(
+                "functional serving needs a Sequential model, got "
+                f"{type(model).__name__}"
+            )
+        inputs = np.asarray(inputs)
+        functional = {name: (model, inputs)}
+        stack = noise_stack if noise_stack is not None else NoiseStack(())
+        engines = [
+            PhotonicInferenceEngine.from_stack(
+                stack, activation_bits=activation_bits, seed=seed + worker_id
+            )
+            for worker_id in range(n_workers)
+        ]
+    runtime = ServingRuntime(
+        workloads,
+        accelerator,
+        policy,
+        n_workers=n_workers,
+        functional=functional,
+        engines=engines,
+    )
+    requests = requests_from_traffic(
+        traffic,
+        name,
+        seed,
+        n_inputs=None if inputs is None else inputs.shape[0],
+    )
+    return runtime.run(
+        requests,
+        traffic.duration_s,
+        drain=drain,
+        traffic_description=traffic.describe(),
+    )

@@ -1,0 +1,164 @@
+"""Simulated accelerator workers and the fleet pool.
+
+Each :class:`AcceleratorWorker` wraps one :class:`~repro.arch.accelerator.\
+PhotonicAccelerator`: the accelerator's analytic model prices every
+dispatched micro-batch (latency via
+:meth:`~repro.arch.accelerator.PhotonicAccelerator.batch_latency_s`, energy
+as busy-time x total power), and an optional
+:class:`~repro.sim.photonic_inference.PhotonicInferenceEngine` produces
+*functional* outputs -- actual logits through the worker's own noise stack,
+so a fleet models per-device FPV diversity by seeding each worker's engine
+differently.
+
+:class:`WorkerPool` owns the fleet, arbitrates idleness deterministically
+(lowest worker id first), and memoizes the ``(model, batch size) -> latency``
+table so the event loop prices repeat dispatches in O(1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.arch.accelerator import PhotonicAccelerator
+from repro.nn.layers import LayerWorkload
+from repro.sim.photonic_inference import PhotonicInferenceEngine
+
+
+class AcceleratorWorker:
+    """One serving worker: a simulated accelerator plus optional inference.
+
+    Parameters
+    ----------
+    worker_id:
+        Stable identity used for deterministic idle-worker selection and
+        for report attribution.
+    accelerator:
+        The analytic performance/power model pricing this worker's batches.
+        Workers of one fleet may share an accelerator object (it is only
+        read) or wrap differently configured instances.
+    engine:
+        Optional functional-inference engine.  When present, completed
+        batches run their actual inputs through the engine's noise stack;
+        each prediction consumes the engine's random stream in batch
+        *completion* order (the order the runtime processes results), so a
+        fixed seed replays identical outputs.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        accelerator: PhotonicAccelerator,
+        engine: PhotonicInferenceEngine | None = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.accelerator = accelerator
+        self.engine = engine
+        self.power_w = accelerator.total_power_w
+        self.busy_until_s = 0.0
+        self.busy_s = 0.0
+        self.n_batches = 0
+        self.n_requests = 0
+
+    def idle(self, now_s: float) -> bool:
+        """Whether the worker can accept a dispatch at ``now_s``."""
+        return now_s >= self.busy_until_s
+
+    def dispatch(self, latency_s: float, now_s: float) -> float:
+        """Occupy the worker with one batch; returns the completion time."""
+        if not self.idle(now_s):
+            raise RuntimeError(
+                f"worker {self.worker_id} dispatched at {now_s} while busy "
+                f"until {self.busy_until_s}"
+            )
+        self.busy_until_s = now_s + latency_s
+        return self.busy_until_s
+
+    def record_completion(self, latency_s: float, batch_size: int) -> None:
+        """Accrue one finished batch into the worker's served statistics.
+
+        Busy time is accounted here, at *completion*, not at dispatch: a
+        cut-off run (``drain=False``) then never counts work that finishes
+        beyond the horizon, keeping utilisation <= 1 and the busy-time
+        metrics consistent with the completed-batch energy accounting.
+        """
+        self.busy_s += latency_s
+        self.n_batches += 1
+        self.n_requests += batch_size
+
+    def batch_energy_j(self, latency_s: float) -> float:
+        """Energy of one batch: the accelerator's power over the busy window."""
+        return self.power_w * latency_s
+
+    def predict(self, model, inputs: np.ndarray) -> np.ndarray:
+        """Functional outputs (argmax class per input) via the worker engine."""
+        if self.engine is None:
+            raise RuntimeError(
+                f"worker {self.worker_id} has no inference engine attached"
+            )
+        logits = self.engine.predict(model, inputs, batch_size=inputs.shape[0])
+        return np.argmax(logits, axis=1)
+
+
+class WorkerPool:
+    """A fleet of workers plus the memoized batch-latency table.
+
+    Parameters
+    ----------
+    workers:
+        The fleet, in worker-id order.
+    workloads:
+        Per-model layer workloads (``model name -> trace_model(...)``) used
+        to price batches.  All workers are assumed able to serve every
+        model (the per-batch weight reprogramming is already part of
+        :meth:`~repro.arch.accelerator.PhotonicAccelerator.batch_latency_s`).
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[AcceleratorWorker],
+        workloads: Mapping[str, list[LayerWorkload]],
+    ) -> None:
+        workers = list(workers)
+        if not workers:
+            raise ValueError("a worker pool needs at least one worker")
+        ids = [worker.worker_id for worker in workers]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"worker ids must be unique, got {ids}")
+        self.workers = workers
+        self.workloads = dict(workloads)
+        self._latency_table: dict[tuple[int, str, int], float] = {}
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def idle_worker(self, now_s: float) -> AcceleratorWorker | None:
+        """The idle worker with the lowest id, or ``None`` (deterministic)."""
+        for worker in self.workers:
+            if worker.idle(now_s):
+                return worker
+        return None
+
+    def batch_latency_s(
+        self, worker: AcceleratorWorker, model: str, batch_size: int
+    ) -> float:
+        """Memoized batch latency of ``model`` at ``batch_size`` on ``worker``."""
+        key = (worker.worker_id, model, batch_size)
+        latency = self._latency_table.get(key)
+        if latency is None:
+            latency = worker.accelerator.batch_latency_s(
+                self.workloads[model], batch_size
+            )
+            self._latency_table[key] = latency
+        return latency
+
+    @property
+    def total_busy_s(self) -> float:
+        """Summed busy time across the fleet."""
+        return sum(worker.busy_s for worker in self.workers)
+
+    @property
+    def busy_s_per_worker(self) -> tuple[float, ...]:
+        """Per-worker busy time, in worker-id order."""
+        return tuple(worker.busy_s for worker in self.workers)

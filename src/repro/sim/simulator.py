@@ -53,17 +53,22 @@ def simulate_models(
     accelerator: PhotonicAccelerator,
     models: Mapping[object, Sequential | SiameseModel]
     | Iterable[Sequential | SiameseModel]
+    | Sequential
+    | SiameseModel
     | None = None,
 ) -> AggregateReport:
     """Aggregate report of an accelerator across a set of models.
 
     ``models`` may be any mapping (values are simulated in the caller's
     insertion order -- keys are never sorted, so string- or enum-keyed
-    collections work) or a plain iterable of models.  ``None`` uses the four
-    Table-I models.
+    collections work), a plain iterable of models, or a single model (which
+    is auto-wrapped, so ad-hoc calls and the serving study don't need
+    one-element collections).  ``None`` uses the four Table-I models.
     """
     if models is None:
         models = build_all_models()
+    elif isinstance(models, (Sequential, SiameseModel)):
+        models = [models]
     ordered = list(models.values()) if isinstance(models, Mapping) else list(models)
     reports = [simulate_model(accelerator, model) for model in ordered]
     return aggregate(reports)

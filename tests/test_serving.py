@@ -1,0 +1,605 @@
+"""Tests of the discrete-event serving runtime (:mod:`repro.serve`).
+
+Covers the determinism, batching, and conservation invariants the
+subsystem guarantees:
+
+* same seed -> byte-identical event traces (hypothesis);
+* the micro-batcher never forms a batch above ``max_batch_size`` and never
+  holds a due head while capacity is idle (deadline bound);
+* conservation: every arrival is completed, shed, queued, or in flight --
+  exactly once -- in both drained and cut-off runs;
+* the serving-study sweeps produce identical records serially and through
+  a process pool;
+* the batching frontier is monotone: larger max-batch raises achieved
+  service throughput and p99 latency, and lowers energy per request.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.accelerator import CrossLightAccelerator, PhotonicAccelerator
+from repro.experiments import serving_study
+from repro.nn.layers import LayerWorkload
+from repro.nn.zoo import build_model
+from repro.serve import (
+    BatchPolicy,
+    BurstyTraffic,
+    DiurnalTraffic,
+    EventQueue,
+    MicroBatcher,
+    PoissonTraffic,
+    Request,
+    ServingRuntime,
+    SimulationClock,
+    TraceTraffic,
+    requests_from_traffic,
+    serve_trace,
+)
+from repro.sim.simulator import simulate_models
+from repro.sim.tracer import trace_model
+
+
+@pytest.fixture(scope="module")
+def lenet():
+    return build_model(1)
+
+
+@pytest.fixture(scope="module")
+def crosslight():
+    return CrossLightAccelerator.from_variant("cross_opt_ted")
+
+
+@pytest.fixture(scope="module")
+def lenet_workloads(lenet):
+    return trace_model(lenet)
+
+
+# --------------------------------------------------------------------------- #
+# Event queue and clock
+# --------------------------------------------------------------------------- #
+class TestEventCore:
+    def test_pop_orders_by_time_then_priority_then_seq(self):
+        queue = EventQueue()
+        queue.push(2.0, 0, "late")
+        queue.push(1.0, 2, "arrival")
+        queue.push(1.0, 0, "completion")
+        queue.push(1.0, 2, "arrival-2")
+        order = [queue.pop()[3] for _ in range(len(queue))]
+        assert order == ["completion", "arrival", "arrival-2", "late"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, 0, "x")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_clock_never_goes_backwards(self):
+        clock = SimulationClock()
+        clock.advance_to(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+        assert clock.now_s == 5.0
+
+
+# --------------------------------------------------------------------------- #
+# Traffic generators
+# --------------------------------------------------------------------------- #
+class TestTraffic:
+    @pytest.mark.parametrize(
+        "traffic",
+        [
+            PoissonTraffic(rate_rps=5_000.0, duration_s=0.2),
+            BurstyTraffic(
+                base_rate_rps=2_000.0,
+                burst_rate_rps=20_000.0,
+                duration_s=0.2,
+                mean_base_dwell_s=0.02,
+                mean_burst_dwell_s=0.005,
+            ),
+            DiurnalTraffic(
+                mean_rate_rps=5_000.0, duration_s=0.2, period_s=0.1, amplitude=0.8
+            ),
+        ],
+        ids=["poisson", "bursty", "diurnal"],
+    )
+    def test_seeded_sorted_and_in_window(self, traffic):
+        times = traffic.generate(seed=7)
+        assert np.array_equal(times, traffic.generate(seed=7))
+        assert not np.array_equal(times, traffic.generate(seed=8))
+        assert times.size > 50
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 0 and times[-1] < traffic.duration_s
+
+    def test_poisson_rate_is_roughly_honoured(self):
+        traffic = PoissonTraffic(rate_rps=10_000.0, duration_s=0.5)
+        times = traffic.generate(seed=0)
+        assert times.size == pytest.approx(5_000, rel=0.1)
+
+    def test_diurnal_modulates_rate_across_half_periods(self):
+        traffic = DiurnalTraffic(
+            mean_rate_rps=20_000.0, duration_s=0.1, period_s=0.1, amplitude=0.9
+        )
+        times = traffic.generate(seed=0)
+        first_half = np.sum(times < 0.05)
+        second_half = times.size - first_half
+        # sin > 0 over the first half period: the day side must dominate.
+        assert first_half > 2 * second_half
+
+    def test_trace_replay_is_exact_and_seed_free(self):
+        trace = TraceTraffic([0.0, 0.5, 0.5, 1.0])
+        assert np.array_equal(trace.generate(0), trace.generate(99))
+        assert trace.duration_s > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonTraffic(rate_rps=0.0, duration_s=1.0)
+        with pytest.raises(ValueError):
+            BurstyTraffic(5.0, 1.0, 1.0, 0.1, 0.1)  # burst < base
+        with pytest.raises(ValueError):
+            DiurnalTraffic(1.0, 1.0, 1.0, amplitude=1.5)
+        with pytest.raises(ValueError):
+            TraceTraffic([1.0, 0.5])
+        with pytest.raises(ValueError):
+            TraceTraffic([])
+
+
+# --------------------------------------------------------------------------- #
+# Micro-batcher
+# --------------------------------------------------------------------------- #
+def _request(i, t, model="m"):
+    return Request(request_id=i, model=model, arrival_s=t)
+
+
+class TestMicroBatcher:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_s=0.0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_queue_depth=0)
+
+    def test_full_batch_dispatches_without_deadline(self):
+        batcher = MicroBatcher("m", BatchPolicy(max_batch_size=2, max_wait_s=1.0))
+        batcher.offer(_request(0, 0.0), 0.0)
+        assert not batcher.dispatchable(0.0)
+        batcher.offer(_request(1, 0.1), 0.1)
+        assert batcher.has_full_batch() and batcher.dispatchable(0.1)
+        batch, deadline_triggered = batcher.pop_batch(0.1)
+        assert [r.request_id for r in batch] == [0, 1]
+        assert not deadline_triggered
+
+    def test_deadline_releases_partial_batch(self):
+        batcher = MicroBatcher("m", BatchPolicy(max_batch_size=8, max_wait_s=0.5))
+        batcher.offer(_request(0, 0.0), 0.0)
+        assert not batcher.dispatchable(0.49)
+        assert batcher.dispatchable(0.5)
+        batch, deadline_triggered = batcher.pop_batch(0.5)
+        assert len(batch) == 1 and deadline_triggered
+
+    def test_premature_pop_raises(self):
+        batcher = MicroBatcher("m", BatchPolicy(max_batch_size=8, max_wait_s=0.5))
+        batcher.offer(_request(0, 0.0), 0.0)
+        with pytest.raises(RuntimeError):
+            batcher.pop_batch(0.1)
+        with pytest.raises(IndexError):
+            MicroBatcher("m", BatchPolicy()).pop_batch(0.0)
+
+    def test_backpressure_sheds_beyond_depth(self):
+        batcher = MicroBatcher(
+            "m", BatchPolicy(max_batch_size=4, max_wait_s=1.0, max_queue_depth=2)
+        )
+        assert batcher.offer(_request(0, 0.0), 0.0)
+        assert batcher.offer(_request(1, 0.0), 0.0)
+        assert not batcher.offer(_request(2, 0.0), 0.0)
+        assert batcher.n_shed == 1 and batcher.depth == 2
+
+    def test_wrong_model_rejected(self):
+        batcher = MicroBatcher("m", BatchPolicy())
+        with pytest.raises(ValueError):
+            batcher.offer(_request(0, 0.0, model="other"), 0.0)
+
+    @given(
+        arrivals=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+        max_batch=st.integers(min_value=1, max_value=7),
+        depth=st.one_of(st.none(), st.integers(min_value=1, max_value=10)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batcher_invariants_under_random_arrivals(self, arrivals, max_batch, depth):
+        """Batches never exceed max size, keep FIFO order, and conserve."""
+        policy = BatchPolicy(max_batch_size=max_batch, max_wait_s=0.25, max_queue_depth=depth)
+        batcher = MicroBatcher("m", policy)
+        popped: list[int] = []
+        now = 0.0
+        for index, time in enumerate(sorted(arrivals)):
+            now = time
+            batcher.offer(_request(index, time), now)
+            while batcher.dispatchable(now):
+                batch, _ = batcher.pop_batch(now)
+                assert 1 <= len(batch) <= max_batch
+                popped.extend(r.request_id for r in batch)
+        # Drain whatever deadline-bound tail remains.
+        while len(batcher):
+            now = batcher.head_deadline_s
+            batch, _ = batcher.pop_batch(now)
+            assert len(batch) <= max_batch
+            popped.extend(r.request_id for r in batch)
+        assert popped == sorted(popped)  # FIFO
+        assert len(popped) + batcher.n_shed == len(arrivals)
+        if depth is not None:
+            assert batcher.peak_depth <= depth
+
+
+# --------------------------------------------------------------------------- #
+# Batch latency model (arch integration)
+# --------------------------------------------------------------------------- #
+class TestBatchLatency:
+    def test_scaled_workload(self):
+        workload = LayerWorkload(kind="conv", dot_product_length=9, n_dot_products=4)
+        scaled = workload.scaled(3)
+        assert scaled.n_dot_products == 12 and scaled.dot_product_length == 9
+        assert workload.scaled(1) is workload
+        with pytest.raises(ValueError):
+            workload.scaled(0)
+
+    def test_batch_of_one_matches_single_inference(self, crosslight, lenet_workloads):
+        assert crosslight.batch_latency_s(lenet_workloads, 1) == pytest.approx(
+            crosslight.latency_for_workloads(lenet_workloads)
+        )
+
+    def test_batch_latency_monotone_and_amortizing(self, crosslight, lenet_workloads):
+        sizes = (1, 2, 4, 8, 16, 32)
+        latencies = [crosslight.batch_latency_s(lenet_workloads, b) for b in sizes]
+        per_request = [t / b for t, b in zip(latencies, sizes)]
+        assert all(b > a for a, b in zip(latencies, latencies[1:]))
+        assert all(b < a for a, b in zip(per_request, per_request[1:]))
+
+    def test_default_accelerator_has_no_amortization(self, lenet_workloads):
+        class Fixed(PhotonicAccelerator):
+            conv_vector_size = 16
+            n_conv_units = 4
+            fc_vector_size = 16
+            n_fc_units = 4
+
+            def cycle_time_s(self):
+                return 1e-9
+
+        fixed = Fixed()
+        assert fixed.weight_update_time_s() == 0.0
+        single = fixed.batch_latency_s(lenet_workloads, 1)
+        # Without a weight-update share the only gain is unit-array packing.
+        assert fixed.batch_latency_s(lenet_workloads, 4) <= 4 * single
+        assert fixed.batch_latency_s(lenet_workloads, 4) >= 3.9 * single
+
+    def test_invalid_batch_size(self, crosslight, lenet_workloads):
+        with pytest.raises(ValueError):
+            crosslight.batch_latency_s(lenet_workloads, 0)
+
+    def test_simulate_models_accepts_single_model(self, crosslight, lenet):
+        single = simulate_models(crosslight, lenet)
+        wrapped = simulate_models(crosslight, [lenet])
+        assert single.accelerator == wrapped.accelerator
+        assert single.avg_fps == wrapped.avg_fps
+        assert len(single.reports) == 1
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end serving runs
+# --------------------------------------------------------------------------- #
+def _run(lenet, crosslight, *, rate=40_000.0, duration=0.01, max_batch=4,
+         max_wait=200e-6, n_workers=1, seed=0, drain=True, depth=None):
+    return serve_trace(
+        lenet,
+        crosslight,
+        PoissonTraffic(rate_rps=rate, duration_s=duration),
+        BatchPolicy(max_batch_size=max_batch, max_wait_s=max_wait, max_queue_depth=depth),
+        n_workers=n_workers,
+        seed=seed,
+        drain=drain,
+    )
+
+
+class TestServeTrace:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        max_batch=st.sampled_from([1, 2, 4, 8]),
+        rate=st.sampled_from([20_000.0, 60_000.0, 150_000.0]),
+        n_workers=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_gives_identical_event_traces(self, seed, max_batch, rate, n_workers):
+        lenet = build_model(1)
+        crosslight = CrossLightAccelerator.from_variant("cross_opt_ted")
+        reports = [
+            _run(lenet, crosslight, rate=rate, duration=0.003,
+                 max_batch=max_batch, n_workers=n_workers, seed=seed)
+            for _ in range(2)
+        ]
+        assert reports[0].event_trace == reports[1].event_trace
+        assert reports[0] == reports[1]
+
+    def test_different_seeds_differ(self, lenet, crosslight):
+        a = _run(lenet, crosslight, seed=0)
+        b = _run(lenet, crosslight, seed=1)
+        assert a.event_trace != b.event_trace
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1_000),
+        depth=st.one_of(st.none(), st.sampled_from([8, 32])),
+        drain=st.booleans(),
+        rate=st.sampled_from([50_000.0, 300_000.0, 700_000.0]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_conservation_across_load_regimes(self, seed, depth, drain, rate):
+        lenet = build_model(1)
+        crosslight = CrossLightAccelerator.from_variant("cross_opt_ted")
+        report = _run(lenet, crosslight, rate=rate, duration=0.003,
+                      max_batch=8, seed=seed, drain=drain, depth=depth)
+        assert report.conserved
+        assert report.n_arrivals == (
+            report.n_completed + report.n_shed
+            + report.n_queued_end + report.n_in_flight_end
+        )
+        if drain and depth is None:
+            assert report.backlog_end == 0 and report.n_shed == 0
+
+    def test_batches_respect_max_size_and_deadline(self, lenet, crosslight):
+        max_wait = 150e-6
+        report = _run(lenet, crosslight, rate=30_000.0, duration=0.02,
+                      max_batch=4, max_wait=max_wait, n_workers=4)
+        assert report.batches
+        assert max(batch.size for batch in report.batches) <= 4
+        # With an ample fleet a due head is always dispatched on time.
+        waits = [record.queue_wait_s for record in report.requests]
+        assert max(waits) <= max_wait * (1 + 1e-12)
+
+    def test_full_batches_do_not_wait_for_deadline(self, lenet, crosslight):
+        report = _run(lenet, crosslight, rate=500_000.0, duration=0.002,
+                      max_batch=8, max_wait=1.0, n_workers=1)
+        full = [batch for batch in report.batches if batch.size == 8]
+        assert full and not any(batch.deadline_triggered for batch in full)
+
+    def test_shedding_under_overload(self, lenet, crosslight):
+        report = _run(lenet, crosslight, rate=800_000.0, duration=0.005,
+                      max_batch=8, depth=32)
+        assert report.n_shed > 0
+        assert 0.0 < report.shed_rate < 1.0
+        assert report.peak_queue_depth <= 32
+        assert report.conserved
+
+    def test_saturation_backlog_diverges_with_horizon(self, lenet, crosslight):
+        stable_short = _run(lenet, crosslight, rate=150_000.0, duration=0.005,
+                            max_batch=1, drain=False)
+        stable_long = _run(lenet, crosslight, rate=150_000.0, duration=0.01,
+                           max_batch=1, drain=False)
+        overload_short = _run(lenet, crosslight, rate=400_000.0, duration=0.005,
+                              max_batch=1, drain=False)
+        overload_long = _run(lenet, crosslight, rate=400_000.0, duration=0.01,
+                             max_batch=1, drain=False)
+        # Below capacity (204k rps at B=1) the backlog stays a few requests.
+        assert stable_short.backlog_end < 0.01 * stable_short.n_arrivals
+        assert stable_long.backlog_end < 0.01 * stable_long.n_arrivals
+        # Above it the backlog scales with the horizon (linear divergence).
+        assert overload_short.backlog_end > 0.2 * overload_short.n_arrivals
+        assert overload_long.backlog_end > 1.5 * overload_short.backlog_end
+
+    def test_fleet_scales_throughput(self, lenet, crosslight):
+        # 2.5M rps saturates both fleets (capacity is ~480k rps per worker),
+        # so delivered throughput is capacity-limited and must scale.
+        single = _run(lenet, crosslight, rate=2_500_000.0, duration=0.003,
+                      max_batch=8, n_workers=1, depth=64)
+        fleet = _run(lenet, crosslight, rate=2_500_000.0, duration=0.003,
+                     max_batch=8, n_workers=4, depth=64)
+        assert fleet.throughput_rps > 3.5 * single.throughput_rps
+        assert fleet.shed_rate < single.shed_rate
+
+    def test_report_metrics_are_consistent(self, lenet, crosslight):
+        report = _run(lenet, crosslight, rate=60_000.0, duration=0.01, max_batch=4)
+        assert report.n_completed == len(report.requests)
+        assert report.n_completed == sum(batch.size for batch in report.batches)
+        assert report.p50_latency_s <= report.p95_latency_s <= report.p99_latency_s
+        assert 0.0 < report.utilisation <= 1.0
+        assert report.total_energy_j == pytest.approx(
+            report.power_w * sum(report.worker_busy_s)
+        )
+        assert report.mean_batch_size == pytest.approx(
+            report.n_completed / len(report.batches)
+        )
+        assert "lenet5" in report.summary()
+
+    def test_stale_deadline_does_not_stretch_the_horizon(self, lenet, crosslight):
+        # Both requests fill the batch immediately; the head's armed 1 s
+        # deadline then fires as a stale no-op and must not extend the
+        # measurement window past the last completion (~6.6 us).
+        report = serve_trace(
+            lenet,
+            crosslight,
+            TraceTraffic([0.0, 1e-9]),
+            BatchPolicy(max_batch_size=2, max_wait_s=1.0),
+            seed=0,
+        )
+        assert report.n_completed == 2
+        assert report.horizon_s < 1e-4
+        assert report.throughput_rps > 100_000
+
+    def test_cutoff_utilisation_stays_bounded(self, lenet, crosslight):
+        # At 10x capacity with drain=False the final in-flight batch must
+        # not leak busy time beyond the horizon.
+        report = _run(lenet, crosslight, rate=5_000_000.0, duration=0.002,
+                      max_batch=8, drain=False, depth=64)
+        assert report.n_in_flight_end > 0
+        assert report.utilisation <= 1.0
+        assert report.total_energy_j == pytest.approx(
+            report.power_w * sum(report.worker_busy_s)
+        )
+
+    def test_runtime_instance_runs_once(self, lenet, crosslight, lenet_workloads):
+        runtime = ServingRuntime(
+            {"lenet5": lenet_workloads}, crosslight, BatchPolicy()
+        )
+        traffic = PoissonTraffic(rate_rps=50_000.0, duration_s=0.001)
+        requests = requests_from_traffic(traffic, "lenet5", seed=0)
+        runtime.run(requests, traffic.duration_s)
+        with pytest.raises(RuntimeError):
+            runtime.run(requests, traffic.duration_s)
+
+
+class TestMultiModel:
+    def test_per_model_queues_never_mix_batches(self, crosslight):
+        models = {1: build_model(1), 2: build_model(2)}
+        workloads = {m.name: trace_model(m) for m in models.values()}
+        runtime = ServingRuntime(
+            workloads,
+            crosslight,
+            BatchPolicy(max_batch_size=4, max_wait_s=100e-6),
+            n_workers=2,
+        )
+        requests = sorted(
+            requests_from_traffic(
+                PoissonTraffic(rate_rps=40_000.0, duration_s=0.005),
+                models[1].name, seed=0,
+            )
+            + requests_from_traffic(
+                PoissonTraffic(rate_rps=40_000.0, duration_s=0.005),
+                models[2].name, seed=1, start_id=10_000,
+            ),
+            key=lambda request: request.arrival_s,
+        )
+        report = runtime.run(requests, 0.005)
+        assert report.conserved
+        assert set(report.models) == {models[1].name, models[2].name}
+        served = {batch.model for batch in report.batches}
+        assert served == set(report.models)
+        for batch in report.batches:
+            assert {request.model for request in batch.requests} == {batch.model}
+
+
+class TestFunctionalServing:
+    def test_outputs_match_noiseless_model(self, crosslight):
+        model = build_model(1, compact=True)
+        rng = np.random.default_rng(0)
+        inputs = rng.normal(size=(24, 1, 16, 16))
+        expected = np.argmax(model.predict(inputs), axis=1)
+        report = serve_trace(
+            model,
+            crosslight,
+            PoissonTraffic(rate_rps=30_000.0, duration_s=0.002),
+            BatchPolicy(max_batch_size=4, max_wait_s=100e-6),
+            n_workers=2,
+            seed=0,
+            inputs=inputs,
+        )
+        assert report.outputs is not None
+        assert set(report.outputs) == {r.request_id for r in report.requests}
+        for record in report.requests:
+            assert report.outputs[record.request_id] == expected[
+                record.request_id % inputs.shape[0]
+            ]
+
+    def test_functional_serving_is_seed_reproducible(self, crosslight):
+        from repro.sim.noise import NoiseStack, QuantizationChannel, ResidualDriftChannel
+
+        model = build_model(1, compact=True)
+        inputs = np.random.default_rng(1).normal(size=(16, 1, 16, 16))
+        stack = NoiseStack([QuantizationChannel(bits=6), ResidualDriftChannel(0.3)])
+        runs = [
+            serve_trace(
+                model,
+                crosslight,
+                PoissonTraffic(rate_rps=30_000.0, duration_s=0.002),
+                BatchPolicy(max_batch_size=4, max_wait_s=100e-6),
+                n_workers=2,
+                seed=5,
+                inputs=inputs,
+                noise_stack=stack,
+                activation_bits=6,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].outputs == runs[1].outputs
+        assert runs[0].event_trace == runs[1].event_trace
+
+
+# --------------------------------------------------------------------------- #
+# Serving study
+# --------------------------------------------------------------------------- #
+class TestServingStudy:
+    @pytest.fixture(scope="class")
+    def crosslight_sweep(self):
+        return serving_study.batch_size_sweep(
+            accelerators=("Cross_opt_TED",),
+            max_batches=(1, 2, 4, 8),
+            n_requests=500,
+        )
+
+    def test_batch_sweep_monotone_frontier(self, crosslight_sweep):
+        points = sorted(crosslight_sweep, key=lambda p: p.max_batch)
+        p99s = [p.p99_latency_s for p in points]
+        capacity = [p.service_throughput_rps for p in points]
+        energy = [p.energy_per_request_j for p in points]
+        assert all(b > a for a, b in zip(p99s, p99s[1:]))
+        assert all(b > a for a, b in zip(capacity, capacity[1:]))
+        assert all(b < a for a, b in zip(energy, energy[1:]))
+
+    def test_sweep_parallel_parity(self, crosslight_sweep):
+        parallel = serving_study.batch_size_sweep(
+            accelerators=("Cross_opt_TED",),
+            max_batches=(1, 2, 4, 8),
+            n_requests=500,
+            n_workers=2,
+        )
+        assert parallel == crosslight_sweep
+
+    def test_crosslight_dominates_on_energy_at_equal_load(self):
+        points, rate = serving_study.equal_load_comparison(n_requests=400)
+        by_name = {point.accelerator: point for point in points}
+        crosslight = by_name["Cross_opt_TED"]
+        assert crosslight.energy_per_request_j < by_name["DEAP_CNN"].energy_per_request_j
+        assert crosslight.energy_per_request_j < by_name["Holylight"].energy_per_request_j
+        for point in points:
+            assert point.rate_rps == rate and point.stable
+
+    def test_saturation_finds_the_capacity_edge(self):
+        results = serving_study.saturation_sweep(
+            accelerators=("Cross_opt_TED", "DEAP_CNN"), n_requests=600
+        )
+        for result in results:
+            rates = [point.rate_rps for point in result.points]
+            stabilities = [point.stable for point in result.points]
+            # Stability is monotone: stable below the edge, saturated above.
+            assert stabilities == sorted(stabilities, reverse=True)
+            assert 0.0 < result.max_sustainable_rps < max(rates)
+            assert result.max_sustainable_rps <= result.capacity_rps
+        by_name = {result.accelerator: result for result in results}
+        assert (
+            by_name["Cross_opt_TED"].max_sustainable_rps
+            > 10 * by_name["DEAP_CNN"].max_sustainable_rps
+        )
+
+    def test_saturation_sweep_is_deterministic(self):
+        twice = [
+            serving_study.saturation_sweep(
+                accelerators=("Cross_opt_TED",), n_requests=300
+            )
+            for _ in range(2)
+        ]
+        assert twice[0] == twice[1]
+
+    def test_capacity_matches_batch_latency_model(self, crosslight, lenet_workloads):
+        capacity = serving_study.fleet_capacity_rps("Cross_opt_TED", 8, fleet_size=2)
+        expected = 2 * 8 / crosslight.batch_latency_s(lenet_workloads, 8)
+        assert capacity == pytest.approx(expected)
+
+    def test_unknown_accelerator_rejected(self):
+        with pytest.raises(ValueError):
+            serving_study.build_accelerator("TPU")
