@@ -34,10 +34,49 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_PR4.json"
 DEFAULT_THRESHOLD = 1.20
 
 
+def _study_report_means(payload: dict) -> dict[str, float]:
+    """Map ``study:<experiment>`` -> wall seconds from StudyReport JSON.
+
+    Accepts all three shapes ``repro run`` emits: a single report
+    (``{"experiment": ..., "envelope": {"wall_time_s": ...}}``), a
+    ``run --all --json`` manifest embedding full reports as a list, and the
+    on-disk ``manifest.json`` whose ``reports`` maps experiment names to
+    summary entries holding ``wall_time_s``.
+    """
+    means: dict[str, float] = {}
+
+    def add(name: object, wall: object) -> None:
+        if isinstance(name, str) and isinstance(wall, (int, float)) and wall > 0:
+            means[f"study:{name}"] = float(wall)
+
+    reports = payload.get("reports")
+    if isinstance(reports, list):
+        for report in reports:
+            if isinstance(report, dict):
+                add(report.get("experiment"), (report.get("envelope") or {}).get("wall_time_s"))
+    elif isinstance(reports, dict):
+        for name, entry in reports.items():
+            if isinstance(entry, dict):
+                add(name, entry.get("wall_time_s"))
+    else:
+        add(payload.get("experiment"), (payload.get("envelope") or {}).get("wall_time_s"))
+    return means
+
+
 def load_means(path: Path) -> dict[str, float]:
-    """Map benchmark fullname -> mean seconds from a pytest-benchmark JSON."""
+    """Map benchmark name -> mean seconds from a benchmark or study JSON.
+
+    Understands both pytest-benchmark output (keyed by benchmark fullname)
+    and the experiment registry's StudyReport/manifest envelopes (keyed by
+    ``study:<experiment>``, measuring wall time), so study runs can carry
+    perf floors exactly like the microbenchmarks do.
+    """
     with open(path) as handle:
         payload = json.load(handle)
+    if not isinstance(payload, dict):
+        return {}
+    if "benchmarks" not in payload:
+        return _study_report_means(payload)
     means: dict[str, float] = {}
     for entry in payload.get("benchmarks", []):
         stats = entry.get("stats") or {}

@@ -52,6 +52,15 @@ Request-level serving simulation (:mod:`repro.serve`)::
                          PoissonTraffic(rate_rps=1e5, duration_s=0.05),
                          BatchPolicy(max_batch_size=8, max_wait_s=100e-6))
     print(report.throughput_rps, report.p99_latency_s)
+
+Paper artefacts through the experiment registry (:mod:`repro.study`, also
+the ``repro`` / ``python -m repro`` CLI)::
+
+    from repro import run_experiment
+
+    report = run_experiment("table2_devices")
+    print(report.to_text())        # the paper-table text rendering
+    payload = report.to_json()     # schema-stable machine-readable form
 """
 
 from repro.sim.noise import (
@@ -83,14 +92,27 @@ from repro.serve import (
     TraceTraffic,
     serve_trace,
 )
+from repro.study import (
+    Experiment,
+    RunContext,
+    StudyConfig,
+    StudyReport,
+    StudyRunner,
+    all_experiments,
+    experiment,
+    experiment_names,
+    get_experiment,
+    run_experiment,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchPolicy",
     "BurstyTraffic",
     "DiurnalTraffic",
     "EnsembleInferenceEngine",
+    "Experiment",
     "FPVDriftChannel",
     "InterChannelCrosstalkChannel",
     "MonteCarloAccuracy",
@@ -101,14 +123,23 @@ __all__ = [
     "PoissonTraffic",
     "QuantizationChannel",
     "ResidualDriftChannel",
+    "RunContext",
     "ServingReport",
     "ServingRuntime",
+    "StudyConfig",
+    "StudyReport",
+    "StudyRunner",
     "ThermalCrosstalkChannel",
     "TraceTraffic",
     "__version__",
     "accuracy_vs_residual_drift",
+    "all_experiments",
     "default_noise_stack",
     "evaluate_ensemble",
+    "experiment",
+    "experiment_names",
+    "get_experiment",
     "monte_carlo_accuracy",
+    "run_experiment",
     "serve_trace",
 ]

@@ -1,0 +1,6 @@
+"""``python -m repro``: the experiment registry's command-line front door."""
+
+from repro.study.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

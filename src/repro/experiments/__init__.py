@@ -1,43 +1,26 @@
 """Experiment drivers, one per table/figure of the paper's evaluation.
 
-========================  =========================================================
-Module                    Paper artefact
-========================  =========================================================
-``table1_models``         Table I -- evaluation DNN models and datasets
-``table2_devices``        Table II -- optoelectronic device parameters
-``fig4_thermal``          Fig. 4 -- phase crosstalk and tuning power vs MR spacing
-``fig5_resolution_accuracy``  Fig. 5 -- accuracy vs weight/activation resolution
-``fig6_design_space``     Fig. 6 -- FPS vs EPB vs area design-space exploration
-``fig7_power``            Fig. 7 -- power consumption comparison
-``fig8_epb``              Fig. 8 -- energy-per-bit per model, photonic accelerators
-``table3_summary``        Table III -- average EPB and kFPS/W of all platforms
-``device_dse``            Section IV.A -- MR waveguide-width design exploration
-``resolution_analysis``   Section V.B -- crosstalk-limited resolution analysis
-``ablation``              ablations: wavelength reuse, bank size, tuning latency,
-                          accuracy vs residual drift
-``serving_study``         beyond the paper: request-level serving study (dynamic
-                          micro-batching, tail latency, saturation) on
-                          :mod:`repro.serve`
-========================  =========================================================
+Every driver is a *registered experiment* (see :mod:`repro.study`): it
+declares a frozen config dataclass whose defaults are the paper settings and
+registers a runner with the :func:`repro.study.experiment` decorator.  The
+single front door is the ``repro`` CLI (``python -m repro``)::
 
-Every module exposes ``run()`` returning structured result objects (used by
-the tests and benchmarks) and ``main()`` returning a printable text report.
+    repro list                  # every experiment and its paper artefact
+    repro describe fig5         # auto-generated config flags
+    repro run fig5 --json       # structured StudyReport
+    repro run --all --out out/  # full paper regeneration manifest
+
+Each module still exposes ``run()`` returning structured result objects
+(used by the tests and benchmarks) and a legacy ``main(argv=None) -> str``
+shim returning the text report via the registry path.
+
+Driver modules are imported lazily: ``from repro.experiments import
+serving_study`` works as before, but ``import repro.experiments`` alone no
+longer pays for twelve eager module imports.  The canonical name -> module
+manifest lives in :data:`repro.study.registry.EXPERIMENT_MODULES`.
 """
 
-from repro.experiments import (
-    ablation,
-    device_dse,
-    fig4_thermal,
-    fig5_resolution_accuracy,
-    fig6_design_space,
-    fig7_power,
-    fig8_epb,
-    resolution_analysis,
-    serving_study,
-    table1_models,
-    table2_devices,
-    table3_summary,
-)
+import importlib
 
 __all__ = [
     "ablation",
@@ -53,3 +36,16 @@ __all__ = [
     "table2_devices",
     "table3_summary",
 ]
+
+
+def __getattr__(name: str):
+    """Import driver modules on first attribute access (PEP 562)."""
+    if name in __all__:
+        module = importlib.import_module(f"{__name__}.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

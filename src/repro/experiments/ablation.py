@@ -30,7 +30,7 @@ Monte-Carlo study stacks its wafer draws along the ensemble axis
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.arch.vdp import VDPUnit
 from repro.crosstalk.resolution import crosslight_bank_resolution
@@ -47,6 +47,7 @@ from repro.sim.photonic_inference import (
 )
 from repro.sim.results import format_table
 from repro.sim.sweep import run_sweep
+from repro.study import RunContext, StudyConfig, experiment, run_main
 
 
 @dataclass(frozen=True)
@@ -218,6 +219,7 @@ def fpv_monte_carlo_ablation(
 def run(
     include_drift_accuracy: bool = True,
     include_fpv_monte_carlo: bool = False,
+    n_workers: int | None = None,
 ) -> AblationResult:
     """Run every ablation study (the accuracy ones train a model)."""
     drift_accuracy: tuple[PhotonicInferenceResult, ...] = ()
@@ -225,7 +227,7 @@ def run(
         drift_accuracy = drift_accuracy_ablation()
     fpv_monte_carlo = None
     if include_fpv_monte_carlo:
-        fpv_monte_carlo = fpv_monte_carlo_ablation()
+        fpv_monte_carlo = fpv_monte_carlo_ablation(n_workers=n_workers)
     return AblationResult(
         wavelength_reuse=wavelength_reuse_ablation(),
         bank_size_sweep=bank_size_ablation(),
@@ -262,13 +264,8 @@ def format_fpv_monte_carlo(fpv: FPVMonteCarloAblation) -> str:
     )
 
 
-def main(include_fpv_monte_carlo: bool = False) -> str:
-    """Render all ablation studies as text tables.
-
-    The FPV Monte-Carlo study trains a second model and runs two 8-seed
-    Monte-Carlo sweeps, so it is opt-in (``--fpv`` on the command line).
-    """
-    result = run(include_fpv_monte_carlo=include_fpv_monte_carlo)
+def _render(result: AblationResult) -> str:
+    """Render all ablation studies as text tables."""
     sections = []
 
     reuse = result.wavelength_reuse
@@ -326,6 +323,55 @@ def main(include_fpv_monte_carlo: bool = False) -> str:
         sections.append(format_fpv_monte_carlo(result.fpv_monte_carlo))
 
     return "\n\n".join(sections)
+
+
+@dataclass(frozen=True)
+class AblationConfig(StudyConfig):
+    """Run-config of the ablation studies."""
+
+    include_drift_accuracy: bool = field(
+        default=True,
+        metadata={"help": "run the accuracy-vs-residual-drift study (trains a model)"},
+    )
+    include_fpv_monte_carlo: bool = field(
+        default=False,
+        metadata={"help": "run the FPV Monte-Carlo study (trains a model, "
+                          "two 8-seed Monte-Carlo sweeps)"},
+    )
+
+
+@experiment(
+    "ablation",
+    config=AblationConfig,
+    title="Ablations - wavelength reuse, bank size, tuning latency, drift accuracy",
+    artefact="ablations",
+)
+def _study(config: AblationConfig, ctx: RunContext) -> tuple[AblationResult, str]:
+    """Isolate CrossLight's design choices one at a time (paper Section IV)."""
+    result = run(
+        include_drift_accuracy=config.include_drift_accuracy,
+        include_fpv_monte_carlo=config.include_fpv_monte_carlo,
+        n_workers=ctx.n_workers,
+    )
+    return result, _render(result)
+
+
+def main(
+    argv: list[str] | bool | None = None, include_fpv_monte_carlo: bool | None = None
+) -> str:
+    """Render all ablation studies as text (legacy driver shim).
+
+    The FPV Monte-Carlo study trains a second model and runs two 8-seed
+    Monte-Carlo sweeps, so it is opt-in (``--include-fpv-monte-carlo`` on
+    the command line).  The pre-registry signature
+    ``main(include_fpv_monte_carlo=...)`` keeps working: a bare bool as the
+    first positional argument is treated as ``include_fpv_monte_carlo``.
+    """
+    if isinstance(argv, bool):
+        argv, include_fpv_monte_carlo = None, argv
+    return run_main(
+        "ablation", argv, {"include_fpv_monte_carlo": include_fpv_monte_carlo}
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -12,7 +12,7 @@ The width grid is evaluated on the unified sweep engine via
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.devices.constants import CONVENTIONAL_MR, OPTIMIZED_MR
 from repro.variations.design_space import (
@@ -23,6 +23,7 @@ from repro.variations.design_space import (
 )
 from repro.variations.fpv import expected_fpv_drift_nm
 from repro.sim.results import format_table
+from repro.study import RunContext, StudyConfig, experiment, run_main
 
 
 @dataclass(frozen=True)
@@ -57,9 +58,8 @@ def paper_drift_reduction_percent() -> float:
     return drift_reduction_percent()
 
 
-def main(max_rows: int = 12) -> str:
+def _render(result: DeviceDSEResult, max_rows: int = 12) -> str:
     """Render the exploration results as a text table."""
-    result = run()
     rows = [
         [
             f"{c.input_waveguide_width_nm:.0f}/{c.ring_waveguide_width_nm:.0f}",
@@ -82,6 +82,38 @@ def main(max_rows: int = 12) -> str:
         f"({result.drift_reduction_percent:.0f}% reduction, paper reports 70%).\n"
     )
     return header + table
+
+
+@dataclass(frozen=True)
+class DeviceDSEConfig(StudyConfig):
+    """Run-config of the Section IV.A device exploration."""
+
+    max_rows: int = field(
+        default=12, metadata={"help": "candidate designs shown in the report", "min": 1}
+    )
+
+
+@experiment(
+    "device_dse",
+    config=DeviceDSEConfig,
+    title="Section IV.A - MR waveguide-width design exploration",
+    artefact="Section IV.A",
+)
+def _study(config: DeviceDSEConfig, ctx: RunContext) -> tuple[DeviceDSEResult, str]:
+    """Reproduce Section IV.A: the waveguide-width FPV-drift exploration."""
+    result = run()
+    return result, _render(result, max_rows=config.max_rows)
+
+
+def main(argv: list[str] | None = None, max_rows: int | None = None) -> str:
+    """Render the exploration results as text (legacy driver shim).
+
+    The pre-registry signature ``main(max_rows=12)`` keeps working: a bare
+    int as the first positional argument is treated as ``max_rows``.
+    """
+    if isinstance(argv, int) and not isinstance(argv, bool):
+        argv, max_rows = None, argv
+    return run_main("device_dse", argv, {"max_rows": max_rows})
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -27,6 +27,8 @@ from repro.tuning.ted import tuning_power_vs_pitch
 from repro.variations.heat_solver import fit_decay_length_um
 from repro.variations.thermal import ThermalCrosstalkModel
 from repro.sim.results import format_table
+from repro.study import RunContext, StudyConfig, experiment, run_main
+from dataclasses import field
 
 #: MR-pair distances swept (um), matching the granularity of the paper's plot.
 DEFAULT_PITCHES_UM = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 15.0, 20.0, 30.0, 50.0)
@@ -86,9 +88,8 @@ def run(
     )
 
 
-def main() -> str:
+def _render(result: Fig4Result) -> str:
     """Render the Fig. 4 series as a text table."""
-    result = run()
     rows = [
         [
             f"{p:.0f}",
@@ -114,6 +115,44 @@ def main() -> str:
         f"TED power minimum at {result.optimal_pitch_um:.0f} um)\n"
     )
     return header + table
+
+
+@dataclass(frozen=True)
+class Fig4Config(StudyConfig):
+    """Run-config of the Fig. 4 reproduction."""
+
+    pitches_um: tuple[float, ...] = field(
+        default=DEFAULT_PITCHES_UM,
+        metadata={"help": "MR-pair distances to evaluate (um)", "min": 0.1, "nonempty": True},
+    )
+    n_rings: int = field(
+        default=10, metadata={"help": "MRs in the fabricated block", "min": 2}
+    )
+    use_heat_solver_calibration: bool = field(
+        default=False,
+        metadata={"help": "calibrate the crosstalk decay length on the heat solver"},
+    )
+
+
+@experiment(
+    "fig4",
+    config=Fig4Config,
+    title="Fig. 4 - phase crosstalk and tuning power vs MR spacing",
+    artefact="Fig. 4",
+)
+def _study(config: Fig4Config, ctx: RunContext) -> tuple[Fig4Result, str]:
+    """Reproduce Fig. 4: crosstalk decay and the TED tuning-power minimum."""
+    result = run(
+        pitches_um=config.pitches_um,
+        n_rings=config.n_rings,
+        use_heat_solver_calibration=config.use_heat_solver_calibration,
+    )
+    return result, _render(result)
+
+
+def main(argv: list[str] | None = None) -> str:
+    """Render the Fig. 4 series as text (legacy driver shim)."""
+    return run_main("fig4", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -30,7 +30,7 @@ still uses :class:`repro.nn.quantization.QuantizedModelWrapper`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 
 import numpy as np
@@ -43,7 +43,8 @@ from repro.nn.zoo import build_model, model_spec
 from repro.sim.noise import NoiseStack, QuantizationChannel
 from repro.sim.photonic_inference import evaluate_ensemble, ideal_model_accuracy
 from repro.sim.results import format_table
-from repro.sim.sweep import run_sweep
+from repro.sim.sweep import SweepExecutor, run_sweep
+from repro.study import RunContext, StudyConfig, experiment, run_main
 
 #: Resolution sweep of the paper's Fig. 5.
 DEFAULT_BITS = (1, 2, 4, 6, 8, 12, 16)
@@ -162,8 +163,15 @@ def run(
     epochs: int = 6,
     n_train: int = 400,
     n_test: int = 200,
+    n_workers: int | None = None,
+    executor: SweepExecutor | None = None,
 ) -> list[AccuracyCurve]:
-    """Accuracy-vs-resolution curves for the requested models."""
+    """Accuracy-vs-resolution curves for the requested models.
+
+    The per-model sweep points are independent (each trains its own model),
+    so ``n_workers > 1`` -- or a warm :class:`SweepExecutor` from a
+    multi-study session -- fans them out over a process pool.
+    """
     sweep = run_sweep(
         partial(
             run_for_model,
@@ -173,19 +181,66 @@ def run(
             n_test=n_test,
         ),
         [{"model_index": int(index)} for index in model_indices],
+        n_workers=n_workers,
+        executor=executor,
     )
     return list(sweep.values)
 
 
-def main() -> str:
+def _render(curves: list[AccuracyCurve]) -> str:
     """Render the Fig. 5 curves as a text table (models x resolutions)."""
-    curves = run()
     headers = ["Model"] + [f"{b} bit" for b in curves[0].bits]
     rows = [
         [curve.model_name] + [float(a) for a in curve.accuracy] for curve in curves
     ]
     table = format_table(headers, rows, float_format="{:.3f}")
     return "Fig. 5 reproduction - accuracy vs weight/activation resolution\n" + table
+
+
+@dataclass(frozen=True)
+class Fig5Config(StudyConfig):
+    """Run-config of the Fig. 5 reproduction (defaults = paper settings)."""
+
+    model_indices: tuple[int, ...] = field(
+        default=(1, 2, 3, 4),
+        metadata={
+            "help": "Table-I model indices to sweep",
+            "choices": (1, 2, 3, 4),
+            "nonempty": True,
+        },
+    )
+    bits_sweep: tuple[int, ...] = field(
+        default=DEFAULT_BITS,
+        metadata={"help": "weight/activation resolutions (bits)", "min": 1, "nonempty": True},
+    )
+    epochs: int = field(default=6, metadata={"help": "training epochs per model", "min": 1})
+    n_train: int = field(default=400, metadata={"help": "training samples", "min": 1})
+    n_test: int = field(default=200, metadata={"help": "test samples", "min": 1})
+
+
+@experiment(
+    "fig5",
+    config=Fig5Config,
+    title="Fig. 5 - inference accuracy vs weight/activation resolution",
+    artefact="Fig. 5",
+)
+def _study(config: Fig5Config, ctx: RunContext) -> tuple[list[AccuracyCurve], str]:
+    """Reproduce Fig. 5: train the zoo models and sweep inference resolution."""
+    curves = run(
+        model_indices=config.model_indices,
+        bits_sweep=config.bits_sweep,
+        epochs=config.epochs,
+        n_train=config.n_train,
+        n_test=config.n_test,
+        n_workers=ctx.n_workers,
+        executor=ctx.executor,
+    )
+    return curves, _render(curves)
+
+
+def main(argv: list[str] | None = None) -> str:
+    """Render the Fig. 5 curves as text (legacy driver shim)."""
+    return run_main("fig5", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

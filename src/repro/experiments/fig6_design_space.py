@@ -15,7 +15,7 @@ area envelope.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 
 from repro.arch.accelerator import CrossLightAccelerator
@@ -23,7 +23,8 @@ from repro.arch.config import CrossLightConfig, design_space_geometries
 from repro.nn.zoo import build_all_models
 from repro.sim.simulator import simulate_models
 from repro.sim.results import format_table
-from repro.sim.sweep import run_sweep
+from repro.sim.sweep import SweepExecutor, run_sweep
+from repro.study import RunContext, StudyConfig, experiment, run_main
 
 #: Area envelope applied when selecting the best configuration (mm^2).
 DEFAULT_AREA_BUDGET_MM2 = 25.0
@@ -113,6 +114,7 @@ def run(
     area_budget_mm2: float = DEFAULT_AREA_BUDGET_MM2,
     models=None,
     n_workers: int | None = None,
+    executor: SweepExecutor | None = None,
 ) -> Fig6Result:
     """Evaluate every geometry of the sweep on the Table-I workloads.
 
@@ -127,6 +129,9 @@ def run(
     n_workers:
         Passed to the sweep engine: ``> 1`` evaluates the (independent)
         geometries on a process pool, ``None``/``0``/``1`` run serially.
+    executor:
+        Optional warm :class:`SweepExecutor` (takes precedence over
+        ``n_workers``), so a multi-study session reuses one pool.
     """
     geometries = list(geometries) if geometries is not None else list(design_space_geometries())
     models = models or build_all_models()
@@ -135,13 +140,13 @@ def run(
         partial(_evaluate_geometry, base=base, models=models),
         [{"geometry": tuple(geometry)} for geometry in geometries],
         n_workers=n_workers,
+        executor=executor,
     )
     return Fig6Result(points=tuple(sweep.values), area_budget_mm2=area_budget_mm2)
 
 
-def main(max_rows: int = 20) -> str:
+def _render(result: Fig6Result, max_rows: int = 20) -> str:
     """Render the Fig. 6 scatter (top configurations by FPS/EPB) as text."""
-    result = run()
     ranked = sorted(result.feasible_points, key=lambda p: p.fps_per_epb, reverse=True)
     rows = [
         [
@@ -169,6 +174,65 @@ def main(max_rows: int = 20) -> str:
         f"and the highest avg FPS of the sweep ({paper_point.avg_fps:.0f}).\n"
     )
     return header + table
+
+
+@dataclass(frozen=True)
+class Fig6Config(StudyConfig):
+    """Run-config of the Fig. 6 design-space exploration."""
+
+    area_budget_mm2: float = field(
+        default=DEFAULT_AREA_BUDGET_MM2,
+        metadata={"help": "area envelope for the selection (mm^2)", "min": 0.1},
+    )
+    max_rows: int = field(
+        default=20, metadata={"help": "top configurations shown in the report", "min": 1}
+    )
+    geometries: tuple[int, ...] | None = field(
+        default=None,
+        metadata={
+            "help": "flat (N K n m) quadruples overriding the full paper sweep, "
+            "e.g. --geometries 20 150 100 60 10 100 50 30"
+        },
+    )
+
+    def check(self) -> None:
+        if self.geometries is not None and len(self.geometries) % 4 != 0:
+            raise ValueError(
+                "geometries must hold whole (N, K, n, m) quadruples; "
+                f"got {len(self.geometries)} values"
+            )
+
+
+@experiment(
+    "fig6",
+    config=Fig6Config,
+    title="Fig. 6 - FPS vs EPB vs area design-space exploration",
+    artefact="Fig. 6",
+)
+def _study(config: Fig6Config, ctx: RunContext) -> tuple[Fig6Result, str]:
+    """Reproduce Fig. 6: sweep the (N, K, n, m) geometry space on Table-I workloads."""
+    geometries = None
+    if config.geometries is not None:
+        flat = config.geometries
+        geometries = [tuple(flat[i:i + 4]) for i in range(0, len(flat), 4)]
+    result = run(
+        geometries=geometries,
+        area_budget_mm2=config.area_budget_mm2,
+        n_workers=ctx.n_workers,
+        executor=ctx.executor,
+    )
+    return result, _render(result, max_rows=config.max_rows)
+
+
+def main(argv: list[str] | None = None, max_rows: int | None = None) -> str:
+    """Render the Fig. 6 exploration as text (legacy driver shim).
+
+    The pre-registry signature ``main(max_rows=20)`` keeps working: a bare
+    int as the first positional argument is treated as ``max_rows``.
+    """
+    if isinstance(argv, int) and not isinstance(argv, bool):
+        argv, max_rows = None, argv
+    return run_main("fig6", argv, {"max_rows": max_rows})
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -24,6 +24,7 @@ from repro.baselines.deap_cnn import DeapCnnAccelerator
 from repro.baselines.electronic import ELECTRONIC_PLATFORMS
 from repro.baselines.holylight import HolyLightAccelerator
 from repro.sim.results import format_table
+from repro.study import RunContext, StudyConfig, experiment, run_main
 
 
 @dataclass(frozen=True)
@@ -75,14 +76,35 @@ def crosslight_variant_powers() -> dict[str, float]:
     }
 
 
-def main() -> str:
+def _render(rows: list[PowerRow]) -> str:
     """Render the Fig. 7 power comparison as a text table."""
-    rows = run()
     table = format_table(
         ["Platform", "Type", "Power (W)"],
         [[r.name, r.kind, r.power_w] for r in rows],
     )
     return "Fig. 7 reproduction - power consumption comparison\n" + table
+
+
+@dataclass(frozen=True)
+class Fig7Config(StudyConfig):
+    """Run-config of the Fig. 7 reproduction (no tunable settings)."""
+
+
+@experiment(
+    "fig7",
+    config=Fig7Config,
+    title="Fig. 7 - power consumption comparison",
+    artefact="Fig. 7",
+)
+def _study(config: Fig7Config, ctx: RunContext) -> tuple[list[PowerRow], str]:
+    """Reproduce Fig. 7: total power of every platform in the comparison."""
+    rows = run()
+    return rows, _render(rows)
+
+
+def main(argv: list[str] | None = None) -> str:
+    """Render the Fig. 7 power comparison as text (legacy driver shim)."""
+    return run_main("fig7", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -19,6 +19,7 @@ from repro.arch.metrics import InferenceReport
 from repro.nn.zoo import build_all_models
 from repro.sim.simulator import default_accelerators, simulate_model
 from repro.sim.results import format_table
+from repro.study import RunContext, StudyConfig, experiment, run_main
 
 
 @dataclass(frozen=True)
@@ -74,9 +75,8 @@ def run(models=None) -> Fig8Result:
     return Fig8Result(reports=tuple(reports))
 
 
-def main() -> str:
+def _render(result: Fig8Result) -> str:
     """Render the Fig. 8 EPB comparison as a text table."""
-    result = run()
     headers = ["Accelerator"] + [m for m in result.models] + ["Average"]
     rows = []
     for accelerator in result.accelerators:
@@ -86,6 +86,28 @@ def main() -> str:
         rows.append(row)
     table = format_table(headers, rows)
     return "Fig. 8 reproduction - energy per bit (pJ/bit) per model\n" + table
+
+
+@dataclass(frozen=True)
+class Fig8Config(StudyConfig):
+    """Run-config of the Fig. 8 reproduction (no tunable settings)."""
+
+
+@experiment(
+    "fig8",
+    config=Fig8Config,
+    title="Fig. 8 - energy-per-bit per model, photonic accelerators",
+    artefact="Fig. 8",
+)
+def _study(config: Fig8Config, ctx: RunContext) -> tuple[Fig8Result, str]:
+    """Reproduce Fig. 8: per-model EPB of every photonic accelerator."""
+    result = run()
+    return result, _render(result)
+
+
+def main(argv: list[str] | None = None) -> str:
+    """Render the Fig. 8 EPB comparison as text (legacy driver shim)."""
+    return run_main("fig8", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -20,7 +20,7 @@ accuracy story evaluated in one fused pass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.crosstalk.resolution import (
     resolution_vs_mrs_per_bank,
 )
 from repro.sim.results import format_table
+from repro.study import RunContext, StudyConfig, experiment, run_main
 
 
 @dataclass(frozen=True)
@@ -136,13 +137,8 @@ def run(max_mrs: int = 30, include_accuracy: bool = False) -> ResolutionAnalysis
     )
 
 
-def main(include_accuracy: bool = False) -> str:
-    """Render the resolution comparison and bank-size sweep as text.
-
-    The accuracy study trains a model and runs an ensemble evaluation, so it
-    is opt-in (``--accuracy`` on the command line).
-    """
-    result = run(include_accuracy=include_accuracy)
+def _render(result: ResolutionAnalysisResult) -> str:
+    """Render the resolution comparison and bank-size sweep as text."""
     comparison = format_table(
         ["Design", "Channels", "Spacing (nm)", "Q", "Resolution (bits)", "Paper (bits)"],
         [
@@ -203,6 +199,48 @@ def main(include_accuracy: bool = False) -> str:
             "(compact LeNet-5, ensemble-evaluated):\n" + accuracy_table
         )
     return report
+
+
+@dataclass(frozen=True)
+class ResolutionAnalysisConfig(StudyConfig):
+    """Run-config of the Section V.B resolution analysis."""
+
+    max_mrs: int = field(
+        default=30, metadata={"help": "largest bank size swept", "min": 1}
+    )
+    include_accuracy: bool = field(
+        default=False,
+        metadata={"help": "also run the bank-size vs model-accuracy study "
+                          "(trains a model, ensemble-evaluated)"},
+    )
+
+
+@experiment(
+    "resolution_analysis",
+    config=ResolutionAnalysisConfig,
+    title="Section V.B - crosstalk-limited resolution analysis",
+    artefact="Section V.B",
+)
+def _study(
+    config: ResolutionAnalysisConfig, ctx: RunContext
+) -> tuple[ResolutionAnalysisResult, str]:
+    """Reproduce Section V.B: crosstalk-limited resolution of all three designs."""
+    result = run(max_mrs=config.max_mrs, include_accuracy=config.include_accuracy)
+    return result, _render(result)
+
+
+def main(argv: list[str] | None = None, include_accuracy: bool | None = None) -> str:
+    """Render the resolution analysis as text (legacy driver shim).
+
+    The accuracy study trains a model and runs an ensemble evaluation, so it
+    is opt-in (``--include-accuracy`` on the command line).  The
+    pre-registry signature ``main(include_accuracy=...)`` keeps working: a
+    bare bool as the first positional argument is treated as
+    ``include_accuracy``.
+    """
+    if isinstance(argv, bool):
+        argv, include_accuracy = None, argv
+    return run_main("resolution_analysis", argv, {"include_accuracy": include_accuracy})
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

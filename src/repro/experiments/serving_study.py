@@ -28,7 +28,7 @@ results.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.arch.accelerator import CrossLightAccelerator
 from repro.baselines.deap_cnn import DeapCnnAccelerator
@@ -36,8 +36,9 @@ from repro.baselines.holylight import HolyLightAccelerator
 from repro.nn.zoo import build_model
 from repro.serve import BatchPolicy, PoissonTraffic, serve_trace
 from repro.sim.results import format_table
-from repro.sim.sweep import grid, run_sweep
+from repro.sim.sweep import SweepExecutor, grid, run_sweep
 from repro.sim.tracer import trace_model
+from repro.study import RunContext, StudyConfig, experiment, run_experiment
 
 #: Accelerators compared by the study, in report order.
 ACCELERATOR_BUILDERS = {
@@ -209,6 +210,7 @@ def batch_size_sweep(
     n_requests: int = 1500,
     seed: int = 0,
     n_workers: int | None = None,
+    executor: SweepExecutor | None = None,
 ) -> tuple[ServingPoint, ...]:
     """Sweep the maximum micro-batch size at *fixed* traffic per accelerator.
 
@@ -236,7 +238,9 @@ def batch_size_sweep(
                 seed=(seed,),
             )
         )
-    return tuple(run_sweep(evaluate_policy, points, n_workers=n_workers).values)
+    return tuple(
+        run_sweep(evaluate_policy, points, n_workers=n_workers, executor=executor).values
+    )
 
 
 def equal_load_comparison(
@@ -248,6 +252,7 @@ def equal_load_comparison(
     n_requests: int = 1500,
     seed: int = 0,
     n_workers: int | None = None,
+    executor: SweepExecutor | None = None,
 ) -> tuple[tuple[ServingPoint, ...], float]:
     """Serve one absolute arrival rate on every accelerator.
 
@@ -270,7 +275,7 @@ def equal_load_comparison(
         n_requests=(n_requests,),
         seed=(seed,),
     )
-    result = run_sweep(evaluate_policy, points, n_workers=n_workers)
+    result = run_sweep(evaluate_policy, points, n_workers=n_workers, executor=executor)
     return tuple(result.values), rate
 
 
@@ -283,6 +288,7 @@ def saturation_sweep(
     n_requests: int = 1200,
     seed: int = 0,
     n_workers: int | None = None,
+    executor: SweepExecutor | None = None,
 ) -> tuple[SaturationResult, ...]:
     """Probe each accelerator around its analytic capacity.
 
@@ -310,7 +316,7 @@ def saturation_sweep(
             }
             for fraction in fractions
         ]
-        sweep = run_sweep(evaluate_policy, points, n_workers=n_workers)
+        sweep = run_sweep(evaluate_policy, points, n_workers=n_workers, executor=executor)
         results.append(
             SaturationResult(
                 accelerator=name,
@@ -330,6 +336,7 @@ def run(
     n_requests: int = 1500,
     seed: int = 0,
     n_workers: int | None = None,
+    executor: SweepExecutor | None = None,
 ) -> ServingStudyResult:
     """Run the full serving study (batch sweep, equal load, saturation)."""
     batch_points = batch_size_sweep(
@@ -339,6 +346,7 @@ def run(
         n_requests=n_requests,
         seed=seed,
         n_workers=n_workers,
+        executor=executor,
     )
     equal_points, equal_rate = equal_load_comparison(
         fleet_size=fleet_size,
@@ -346,6 +354,7 @@ def run(
         n_requests=n_requests,
         seed=seed,
         n_workers=n_workers,
+        executor=executor,
     )
     saturation = saturation_sweep(
         fleet_size=fleet_size,
@@ -353,6 +362,7 @@ def run(
         n_requests=max(600, n_requests // 2),
         seed=seed,
         n_workers=n_workers,
+        executor=executor,
     )
     return ServingStudyResult(
         batch_sweep=batch_points,
@@ -362,33 +372,13 @@ def run(
     )
 
 
-def main(
-    argv: list[str] | None = None, result: ServingStudyResult | None = None
+def _render(
+    result: ServingStudyResult,
+    fleet_size: int = 1,
+    n_requests: int = 1500,
+    seed: int = 0,
 ) -> str:
-    """Render the serving study as text tables.
-
-    Pass a precomputed ``result`` (e.g. the benchmark's measured run) to
-    render it without re-running the study.
-    """
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--requests", type=int, default=1500,
-                        help="target request count per serving run")
-    parser.add_argument("--fleet", type=int, default=1, help="workers per fleet")
-    parser.add_argument("--seed", type=int, default=0, help="master scenario seed")
-    parser.add_argument("--workers", type=int, default=None,
-                        help="process-pool width for the sweeps")
-    args = parser.parse_args(argv)
-
-    if result is None:
-        result = run(
-            fleet_size=args.fleet,
-            n_requests=args.requests,
-            seed=args.seed,
-            n_workers=args.workers,
-        )
-
+    """Render the serving study as text tables."""
     frontier_rows = [
         [
             p.accelerator,
@@ -447,7 +437,7 @@ def main(
 
     return (
         "Serving study - dynamic micro-batching over simulated fleets\n"
-        f"(fleet={args.fleet}, ~{args.requests} requests/run, seed={args.seed})\n\n"
+        f"(fleet={fleet_size}, ~{n_requests} requests/run, seed={seed})\n\n"
         "Batching frontier (fixed per-accelerator traffic, sweep max batch):\n"
         f"{frontier}\n\n"
         f"Equal absolute load ({result.equal_load_rate_rps:,.0f} rps, "
@@ -458,5 +448,89 @@ def main(
     )
 
 
+@dataclass(frozen=True)
+class ServingStudyConfig(StudyConfig):
+    """Run-config of the serving study."""
+
+    n_requests: int = field(
+        default=1500,
+        metadata={"help": "target request count per serving run", "min": 1},
+    )
+    fleet_size: int = field(
+        default=1, metadata={"help": "accelerator workers per fleet", "min": 1}
+    )
+    model_index: int = field(
+        default=1,
+        metadata={"help": "Table-I model served", "choices": (1, 2, 3, 4)},
+    )
+    max_batches: tuple[int, ...] = field(
+        default=(1, 2, 4, 8, 16),
+        metadata={"help": "maximum micro-batch sizes swept", "min": 1, "nonempty": True},
+    )
+
+
+@experiment(
+    "serving_study",
+    config=ServingStudyConfig,
+    title="Serving study - dynamic micro-batching over simulated fleets",
+    artefact="beyond the paper",
+)
+def _study(
+    config: ServingStudyConfig, ctx: RunContext
+) -> tuple[ServingStudyResult, str]:
+    """Request-level serving study: batching frontier, equal load, saturation."""
+    result = run(
+        max_batches=config.max_batches,
+        fleet_size=config.fleet_size,
+        model_index=config.model_index,
+        n_requests=config.n_requests,
+        seed=ctx.seed,
+        n_workers=ctx.n_workers,
+        executor=ctx.executor,
+    )
+    text = _render(
+        result,
+        fleet_size=config.fleet_size,
+        n_requests=config.n_requests,
+        seed=ctx.seed,
+    )
+    return result, text
+
+
+def main(
+    argv: list[str] | None = None, result: ServingStudyResult | None = None
+) -> str:
+    """Render the serving study as text (legacy driver shim).
+
+    Keeps the pre-registry flag spellings (``--requests``, ``--fleet``,
+    ``--seed``, ``--workers``) and the ``result=`` parameter, which renders
+    a precomputed study (e.g. the benchmark's measured run) without
+    re-running it.  ``argv=None`` parses no arguments -- the old implicit
+    ``sys.argv`` read is gone, so tests can call this without monkeypatching.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=1500,
+                        help="target request count per serving run")
+    parser.add_argument("--fleet", type=int, default=1, help="workers per fleet")
+    parser.add_argument("--seed", type=int, default=0, help="master scenario seed")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width for the sweeps")
+    args = parser.parse_args([] if argv is None else list(argv))
+
+    if result is not None:
+        return _render(
+            result, fleet_size=args.fleet, n_requests=args.requests, seed=args.seed
+        )
+    config = ServingStudyConfig(n_requests=args.requests, fleet_size=args.fleet)
+    report = run_experiment(
+        "serving_study", config, seed=args.seed, n_workers=args.workers
+    )
+    return report.to_text()
+
+
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper
-    print(main())
+    import sys
+
+    print(main(sys.argv[1:]))

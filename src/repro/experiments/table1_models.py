@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from repro.nn.model import SiameseModel
 from repro.nn.zoo import MODEL_SPECS, build_model
 from repro.sim.results import format_table
+from repro.study import RunContext, StudyConfig, experiment, run_main
 
 
 @dataclass(frozen=True)
@@ -61,9 +62,8 @@ def run() -> list[ModelRow]:
     return rows
 
 
-def main() -> str:
+def _render(rows: list[ModelRow]) -> str:
     """Render the reproduced Table I as text."""
-    rows = run()
     table = format_table(
         ["Model", "CONV", "FC", "Params", "Paper params", "Err %", "Dataset (synthetic)"],
         [
@@ -80,6 +80,28 @@ def main() -> str:
         ],
     )
     return "Table I reproduction - evaluation models\n" + table
+
+
+@dataclass(frozen=True)
+class Table1Config(StudyConfig):
+    """Run-config of the Table I reproduction (no tunable settings)."""
+
+
+@experiment(
+    "table1_models",
+    config=Table1Config,
+    title="Table I - evaluation models and datasets",
+    artefact="Table I",
+)
+def _study(config: Table1Config, ctx: RunContext) -> tuple[list[ModelRow], str]:
+    """Reproduce Table I: model structure vs the paper's layer/param counts."""
+    rows = run()
+    return rows, _render(rows)
+
+
+def main(argv: list[str] | None = None) -> str:
+    """Render the reproduced Table I as text (legacy driver shim)."""
+    return run_main("table1_models", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

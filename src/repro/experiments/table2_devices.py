@@ -19,6 +19,7 @@ from repro.devices.constants import (
     VCSEL,
 )
 from repro.sim.results import format_table
+from repro.study import RunContext, StudyConfig, experiment, run_main
 
 
 @dataclass(frozen=True)
@@ -73,14 +74,35 @@ def run() -> list[DeviceRow]:
     ]
 
 
-def main() -> str:
+def _render(rows: list[DeviceRow]) -> str:
     """Render the reproduced Table II as text."""
-    rows = run()
     table = format_table(
         ["Device", "Latency", "Power", "Paper latency", "Paper power"],
         [[r.device, r.latency, r.power, r.paper_latency, r.paper_power] for r in rows],
     )
     return "Table II reproduction - optoelectronic device parameters\n" + table
+
+
+@dataclass(frozen=True)
+class Table2Config(StudyConfig):
+    """Run-config of the Table II reproduction (no tunable settings)."""
+
+
+@experiment(
+    "table2_devices",
+    config=Table2Config,
+    title="Table II - optoelectronic device parameters",
+    artefact="Table II",
+)
+def _study(config: Table2Config, ctx: RunContext) -> tuple[list[DeviceRow], str]:
+    """Reproduce Table II: the device latency/power values the paper tabulates."""
+    rows = run()
+    return rows, _render(rows)
+
+
+def main(argv: list[str] | None = None) -> str:
+    """Render the reproduced Table II as text (legacy driver shim)."""
+    return run_main("table2_devices", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

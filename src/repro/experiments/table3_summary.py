@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.baselines.electronic import ELECTRONIC_PLATFORMS, PAPER_PHOTONIC_REFERENCE
 from repro.sim.simulator import compare_accelerators
 from repro.sim.results import format_table
+from repro.study import RunContext, StudyConfig, experiment, run_main
 
 
 @dataclass(frozen=True)
@@ -94,9 +95,8 @@ def run(models=None) -> Table3Result:
     return Table3Result(rows=tuple(rows))
 
 
-def main() -> str:
+def _render(result: Table3Result) -> str:
     """Render the reproduced Table III as text."""
-    result = run()
     rows = []
     for row in result.rows:
         rows.append(
@@ -121,6 +121,28 @@ def main() -> str:
         f"(paper 1544x).\n"
     )
     return header + table
+
+
+@dataclass(frozen=True)
+class Table3Config(StudyConfig):
+    """Run-config of the Table III reproduction (no tunable settings)."""
+
+
+@experiment(
+    "table3_summary",
+    config=Table3Config,
+    title="Table III - average EPB and kFPS/W of all platforms",
+    artefact="Table III",
+)
+def _study(config: Table3Config, ctx: RunContext) -> tuple[Table3Result, str]:
+    """Reproduce Table III: average EPB and kFPS/W across all platforms."""
+    result = run()
+    return result, _render(result)
+
+
+def main(argv: list[str] | None = None) -> str:
+    """Render the reproduced Table III as text (legacy driver shim)."""
+    return run_main("table3_summary", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -9,7 +9,10 @@ benchmark harness output.
 
 from __future__ import annotations
 
-from typing import Sequence
+import dataclasses
+from typing import Any, Sequence
+
+import numpy as np
 
 
 def format_table(
@@ -55,6 +58,33 @@ def format_table(
     lines = [_format_row(headers), _format_row(["-" * w for w in widths])]
     lines.extend(_format_row(row) for row in rendered)
     return "\n".join(lines)
+
+
+def to_jsonable(value: Any) -> Any:
+    """Coerce experiment result objects into JSON-serialisable structures.
+
+    The experiment drivers return nested frozen dataclasses holding NumPy
+    arrays and scalars; this walks them into plain dicts/lists/numbers so a
+    :class:`repro.study.StudyReport` can serialise any driver's records
+    without per-experiment conversion code.  Dataclasses gain a ``"kind"``
+    key naming their class, so the JSON stays self-describing.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        record: dict[str, Any] = {"kind": type(value).__name__}
+        for field in dataclasses.fields(value):
+            record[field.name] = to_jsonable(getattr(value, field.name))
+        return record
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
 
 
 def format_ratio(value: float, reference: float) -> str:

@@ -1,0 +1,220 @@
+"""``python -m repro`` / ``repro``: one front door to every experiment.
+
+Subcommands::
+
+    repro list                      # name every registered experiment
+    repro describe <name>           # show its config flags and defaults
+    repro run <name> [flags]        # run one experiment (text to stdout)
+    repro run <name> --json         # ... emit the StudyReport as JSON
+    repro run <name> --out FILE     # ... write the report to a file
+    repro run --all [--out DIR]     # full paper regeneration manifest
+
+Cross-cutting options of ``run`` -- ``--seed``, ``--workers``, ``--json``,
+``--out`` -- are owned by the shared :class:`repro.study.StudyRunner`;
+per-experiment flags are auto-generated from the experiment's config
+dataclass, so registering a new experiment is all it takes to appear here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.sim.results import format_table
+from repro.study.registry import all_experiments, get_experiment
+from repro.study.report import SCHEMA_VERSION
+from repro.study.runner import StudyRunner
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the CrossLight reproduction's registered experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True, metavar="{list,describe,run}")
+
+    sub.add_parser("list", help="name every registered experiment")
+
+    describe = sub.add_parser(
+        "describe", help="show one experiment's config flags and defaults"
+    )
+    describe.add_argument("name", help="experiment name (see 'repro list')")
+
+    run = sub.add_parser(
+        "run",
+        help="run one experiment (or --all), with auto-generated config flags",
+    )
+    run.add_argument("name", nargs="?", help="experiment name (see 'repro list')")
+    run.add_argument(
+        "--all", action="store_true", dest="run_all",
+        help="run every registered experiment (a full paper regeneration)",
+    )
+    run.add_argument(
+        "--seed", type=int, default=0,
+        help="master run seed, consumed by experiments with stochastic "
+             "scenarios (e.g. serving_study); most paper artefacts pin "
+             "their own seeds for exact reproduction (default: 0)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width shared by all sweeps of the session",
+    )
+    run.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the structured StudyReport as JSON instead of text",
+    )
+    run.add_argument(
+        "--out", type=Path, default=None,
+        help="write output to this file (with --all: to this directory)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = [
+        [exp.name, exp.artefact, exp.description]
+        for exp in all_experiments()
+    ]
+    print(format_table(["Experiment", "Paper artefact", "Description"], rows))
+    return 0
+
+
+def _cmd_describe(name: str) -> int:
+    exp = get_experiment(name)
+    print(f"{exp.name} - {exp.title}")
+    print(f"paper artefact: {exp.artefact}")
+    print(f"config: {exp.config_cls.__name__}")
+    print(exp.description)
+    specs = exp.config_cls.config_fields()
+    if not specs:
+        print("\n(no config flags: this experiment has no tunable settings)")
+        return 0
+    rows = []
+    for spec in specs:
+        default = spec.default
+        if isinstance(default, tuple):
+            default = " ".join(str(item) for item in default)
+        rows.append([spec.flag, spec.type_label, str(default), spec.help or "-"])
+    print("\n" + format_table(["Flag", "Type", "Default", "Help"], rows))
+    return 0
+
+
+def _emit(payload: str, out: Path | None) -> None:
+    if out is None:
+        print(payload)
+    else:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(payload + ("\n" if not payload.endswith("\n") else ""))
+        print(f"wrote {out}", file=sys.stderr)
+
+
+def _cmd_run_all(runner: StudyRunner, as_json: bool, out: Path | None) -> int:
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+    manifest_entries: dict[str, Any] = {}
+    reports = []
+    for exp in all_experiments():
+        print(f"running {exp.name} ...", file=sys.stderr)
+        report = runner.run(exp.name)
+        reports.append(report)
+        entry: dict[str, Any] = {
+            "wall_time_s": report.envelope["wall_time_s"],
+            "cache_hits": report.envelope["cache_hits"],
+        }
+        if out is not None:
+            path = out / f"{exp.name}.json"
+            path.write_text(report.to_json() + "\n")
+            entry["file"] = path.name
+        manifest_entries[exp.name] = entry
+
+    manifest = {"schema": SCHEMA_VERSION, "kind": "manifest", "reports": manifest_entries}
+    if out is not None:
+        manifest_path = out / "manifest.json"
+        if not as_json:
+            for report in reports:
+                (out / f"{report.experiment}.txt").write_text(report.to_text() + "\n")
+        manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+        print(f"wrote {len(reports)} reports and {manifest_path}", file=sys.stderr)
+        return 0
+    if as_json:
+        full = dict(manifest)
+        full["reports"] = [report.to_dict() for report in reports]
+        print(json.dumps(full, indent=2))
+        return 0
+    print("\n\n".join(report.to_text() for report in reports))
+    summary = format_table(
+        ["Experiment", "Wall time (s)", "Cache hits"],
+        [
+            [name, entry["wall_time_s"], entry["cache_hits"]]
+            for name, entry in manifest_entries.items()
+        ],
+    )
+    print("\nRegeneration manifest:\n" + summary)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args, extra = parser.parse_known_args(argv)
+
+    # Usage-level failures (unknown experiment, invalid flag value) exit 2
+    # with a one-line message; errors raised *inside* an experiment run are
+    # deliberately not caught, so a real crash keeps its traceback.
+    try:
+        if args.command == "list":
+            if extra:
+                parser.error(f"unrecognized arguments: {' '.join(extra)}")
+            return _cmd_list()
+        if args.command == "describe":
+            if extra:
+                parser.error(f"unrecognized arguments: {' '.join(extra)}")
+            return _cmd_describe(args.name)
+
+        # command == "run"
+        if args.run_all and args.name:
+            parser.error("pass an experiment name or --all, not both")
+        if not args.run_all and not args.name:
+            parser.error("run needs an experiment name (or --all)")
+        if args.run_all:
+            if extra:
+                parser.error(
+                    "per-experiment flags cannot be combined with --all: "
+                    f"{' '.join(extra)}"
+                )
+            exp = config = None
+        else:
+            exp = get_experiment(args.name)
+            config_parser = argparse.ArgumentParser(
+                prog=f"repro run {exp.name}", description=exp.description
+            )
+            exp.config_cls.add_arguments(config_parser)
+            config = exp.config_cls.from_namespace(config_parser.parse_args(extra))
+    except KeyError as error:
+        print(f"repro: {error.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        with StudyRunner(seed=args.seed, n_workers=args.workers) as runner:
+            if args.run_all:
+                return _cmd_run_all(runner, args.as_json, args.out)
+            report = runner.run(exp, config)
+            _emit(report.to_json() if args.as_json else report.to_text(), args.out)
+            return 0
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `repro run x | head`) closed early.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""Declarative experiment registry: an experiment is data, not a module.
+
+Each driver module in :mod:`repro.experiments` registers itself with the
+:func:`experiment` decorator -- a name, a frozen
+:class:`~repro.study.config.StudyConfig` dataclass, the paper artefact it
+reproduces, and a runner ``(config, ctx) -> (typed result, text)``.  The
+registry is what the ``repro`` CLI, the study runner, and the equivalence
+tests enumerate.  Driver modules import lazily from a static manifest:
+name resolution and :func:`get_experiment` load only the one module they
+need (and ``import repro.experiments`` loads none), while operations that
+need every experiment's metadata -- ``repro list``, ``run --all`` -- do
+import all twelve drivers, since titles and descriptions live in the
+decorator calls.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.study.config import StudyConfig
+
+__all__ = [
+    "EXPERIMENT_MODULES",
+    "Experiment",
+    "all_experiments",
+    "experiment",
+    "experiment_names",
+    "get_experiment",
+]
+
+#: Canonical experiment name -> driver module, in paper-artefact order.
+#: This static manifest is what lets name resolution and the lazy
+#: :mod:`repro.experiments` package work without importing every driver.
+EXPERIMENT_MODULES: dict[str, str] = {
+    "table1_models": "repro.experiments.table1_models",
+    "table2_devices": "repro.experiments.table2_devices",
+    "fig4": "repro.experiments.fig4_thermal",
+    "fig5": "repro.experiments.fig5_resolution_accuracy",
+    "fig6": "repro.experiments.fig6_design_space",
+    "fig7": "repro.experiments.fig7_power",
+    "fig8": "repro.experiments.fig8_epb",
+    "table3_summary": "repro.experiments.table3_summary",
+    "device_dse": "repro.experiments.device_dse",
+    "resolution_analysis": "repro.experiments.resolution_analysis",
+    "ablation": "repro.experiments.ablation",
+    "serving_study": "repro.experiments.serving_study",
+}
+
+#: Accepted spellings -> canonical name (module basenames keep working).
+EXPERIMENT_ALIASES: dict[str, str] = {
+    module.rsplit(".", maxsplit=1)[1]: name for name, module in EXPERIMENT_MODULES.items()
+}
+
+_REGISTRY: dict[str, "Experiment"] = {}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment: its config schema and its runner."""
+
+    name: str
+    config_cls: type[StudyConfig]
+    runner: Callable[..., tuple[Any, str]]
+    title: str
+    artefact: str
+    description: str
+
+    def run(self, config: StudyConfig, ctx: Any) -> tuple[Any, str]:
+        """Run the experiment: returns ``(typed result, text rendering)``."""
+        return self.runner(config, ctx)
+
+
+def experiment(
+    name: str,
+    *,
+    config: type[StudyConfig],
+    title: str,
+    artefact: str,
+) -> Callable:
+    """Register the decorated ``(config, ctx) -> (result, text)`` runner.
+
+    ``name`` must appear in :data:`EXPERIMENT_MODULES`; ``config`` is the
+    experiment's frozen :class:`StudyConfig` subclass whose defaults are the
+    paper settings; ``artefact`` names the paper table/figure the experiment
+    reproduces.  The runner's docstring becomes the registry description.
+    """
+    if name not in EXPERIMENT_MODULES:
+        raise ValueError(
+            f"experiment {name!r} is not in the registry manifest; "
+            f"add it to repro.study.registry.EXPERIMENT_MODULES first"
+        )
+    if not (isinstance(config, type) and issubclass(config, StudyConfig)):
+        raise TypeError(f"config must be a StudyConfig subclass, got {config!r}")
+
+    def decorator(runner: Callable[..., tuple[Any, str]]) -> Callable:
+        description = (runner.__doc__ or title).strip().splitlines()[0]
+        _REGISTRY[name] = Experiment(
+            name=name,
+            config_cls=config,
+            runner=runner,
+            title=title,
+            artefact=artefact,
+            description=description,
+        )
+        return runner
+
+    return decorator
+
+
+def canonical_name(name: str) -> str:
+    """Resolve an experiment name or alias to its canonical registry name."""
+    if name in EXPERIMENT_MODULES:
+        return name
+    if name in EXPERIMENT_ALIASES:
+        return EXPERIMENT_ALIASES[name]
+    raise KeyError(
+        f"unknown experiment {name!r}; known experiments: {', '.join(EXPERIMENT_MODULES)}"
+    )
+
+
+def experiment_names() -> tuple[str, ...]:
+    """All canonical experiment names, in artefact order (no imports)."""
+    return tuple(EXPERIMENT_MODULES)
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up one experiment, importing its driver module on first use."""
+    resolved = canonical_name(name)
+    if resolved not in _REGISTRY:
+        importlib.import_module(EXPERIMENT_MODULES[resolved])
+    if resolved not in _REGISTRY:
+        raise RuntimeError(
+            f"module {EXPERIMENT_MODULES[resolved]!r} did not register "
+            f"experiment {resolved!r}"
+        )
+    return _REGISTRY[resolved]
+
+
+def all_experiments() -> tuple[Experiment, ...]:
+    """Every registered experiment, importing driver modules as needed."""
+    return tuple(get_experiment(name) for name in EXPERIMENT_MODULES)

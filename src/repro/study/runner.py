@@ -1,0 +1,193 @@
+"""Shared execution harness for registered experiments.
+
+The cross-cutting options every driver used to reimplement (or lack) live
+here once: the master ``seed``, the ``n_workers`` process-pool width backed
+by one warm :class:`repro.sim.sweep.SweepExecutor` reused across a whole
+multi-study session, and the report envelope's wall-time and cache-hit
+accounting.  Drivers receive them through a :class:`RunContext` and stay
+pure ``(config, ctx) -> (result, text)`` functions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.sweep import SweepExecutor
+from repro.study.config import StudyConfig
+from repro.study.report import StudyReport
+from repro.study.registry import Experiment, experiment_names, get_experiment
+from repro.utils.cache import global_cache_stats
+
+__all__ = ["RunContext", "StudyRunner", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Cross-cutting run options handed to every experiment runner.
+
+    ``seed`` is consumed by experiments whose scenarios are stochastic at
+    the run level (today: ``serving_study``); the paper-artefact drivers
+    pin their own internal seeds so their output reproduces the paper
+    exactly regardless of it.  The report envelope records the runner's
+    seed either way.
+    """
+
+    seed: int = 0
+    n_workers: int | None = None
+    executor: SweepExecutor | None = None
+
+
+def _cache_delta(
+    before: dict[str, Any], after: dict[str, Any]
+) -> dict[str, dict[str, int]]:
+    """Per-function memoization hits/misses attributable to one run."""
+    delta: dict[str, dict[str, int]] = {}
+    for name, info in after.items():
+        prior = before.get(name)
+        hits = info.hits - (prior.hits if prior else 0)
+        misses = info.misses - (prior.misses if prior else 0)
+        if hits or misses:
+            delta[name] = {"hits": hits, "misses": misses}
+    return delta
+
+
+class StudyRunner:
+    """Runs registered experiments with shared cross-cutting options.
+
+    One runner owns at most one :class:`SweepExecutor`: the first experiment
+    that fans a sweep out pays pool start-up, every later experiment in the
+    session reuses the warm workers.  The runner is a context manager;
+    leaving the ``with`` block shuts the pool down.
+
+    Example
+    -------
+    >>> with StudyRunner(n_workers=4) as runner:
+    ...     for name in ("fig6", "serving_study"):
+    ...         print(runner.run(name).to_text())
+    """
+
+    def __init__(self, seed: int = 0, n_workers: int | None = None) -> None:
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise TypeError(f"seed must be an int, got {seed!r}")
+        if n_workers is not None:
+            if isinstance(n_workers, bool) or not isinstance(n_workers, int):
+                raise TypeError(f"n_workers must be an int or None, got {n_workers!r}")
+            if n_workers < 0:
+                raise ValueError(f"n_workers must be >= 0, got {n_workers}")
+        self.seed = seed
+        self.n_workers = n_workers
+        self._executor: SweepExecutor | None = None
+
+    @property
+    def executor(self) -> SweepExecutor | None:
+        """The session's warm sweep pool (lazily created; None when serial)."""
+        if self.n_workers is None or self.n_workers <= 1:
+            return None
+        if self._executor is None:
+            self._executor = SweepExecutor(n_workers=self.n_workers)
+        return self._executor
+
+    def context(self) -> RunContext:
+        """The :class:`RunContext` experiments run under."""
+        return RunContext(seed=self.seed, n_workers=self.n_workers, executor=self.executor)
+
+    def run(
+        self,
+        name: str | Experiment,
+        config: StudyConfig | None = None,
+        **overrides: Any,
+    ) -> StudyReport:
+        """Run one experiment and wrap its outcome in a :class:`StudyReport`.
+
+        ``config`` takes a ready-made config object; keyword ``overrides``
+        are the convenience path (``runner.run("fig5", epochs=2)``) and are
+        validated through the experiment's config class.  Passing both is an
+        error.
+        """
+        exp = name if isinstance(name, Experiment) else get_experiment(name)
+        if config is not None and overrides:
+            raise TypeError("pass either a config object or keyword overrides, not both")
+        if config is None:
+            config = exp.config_cls.from_dict(overrides)
+        elif not isinstance(config, exp.config_cls):
+            raise TypeError(
+                f"experiment {exp.name!r} expects {exp.config_cls.__name__}, "
+                f"got {type(config).__name__}"
+            )
+
+        cache_before = global_cache_stats()
+        start = time.perf_counter()
+        result, text = exp.run(config, self.context())
+        wall_time_s = time.perf_counter() - start
+        cache = _cache_delta(cache_before, global_cache_stats())
+
+        from repro import __version__
+
+        return StudyReport(
+            experiment=exp.name,
+            config=config.to_dict(),
+            text=text,
+            envelope={
+                "seed": self.seed,
+                "n_workers": self.n_workers,
+                "wall_time_s": wall_time_s,
+                "cache": cache,
+                "cache_hits": sum(entry["hits"] for entry in cache.values()),
+                "cache_misses": sum(entry["misses"] for entry in cache.values()),
+                "version": __version__,
+            },
+            result=result,
+        )
+
+    def run_all(self, names: tuple[str, ...] | list[str] | None = None) -> list[StudyReport]:
+        """Run every experiment (or the given subset), in artefact order."""
+        return [self.run(name) for name in (names if names is not None else experiment_names())]
+
+    def close(self) -> None:
+        """Shut down the warm sweep pool, if one was created."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "StudyRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def run_experiment(
+    name: str,
+    config: StudyConfig | None = None,
+    *,
+    seed: int = 0,
+    n_workers: int | None = None,
+    **overrides: Any,
+) -> StudyReport:
+    """One-shot convenience over :class:`StudyRunner` for a single run."""
+    with StudyRunner(seed=seed, n_workers=n_workers) as runner:
+        return runner.run(name, config, **overrides)
+
+
+def run_main(
+    name: str,
+    argv: list[str] | None = None,
+    overrides: dict[str, Any] | None = None,
+) -> str:
+    """The shared body of every legacy ``main(argv) -> str`` driver shim.
+
+    Parses ``argv`` with the experiment's auto-generated config flags,
+    applies any non-``None`` legacy keyword ``overrides`` on top (the old
+    ``main(include_fpv_monte_carlo=...)``-style arguments), runs the
+    experiment through the registry, and returns the text report --
+    byte-identical to what the pre-registry driver printed.
+    """
+    exp = get_experiment(name)
+    config = exp.config_cls.from_cli_args(argv)
+    if overrides:
+        data = config.to_dict()
+        data.update({key: value for key, value in overrides.items() if value is not None})
+        config = exp.config_cls.from_dict(data)
+    return run_experiment(name, config).to_text()

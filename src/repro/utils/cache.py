@@ -27,11 +27,12 @@ from __future__ import annotations
 
 import functools
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable
 
-__all__ = ["CacheInfo", "memoize"]
+__all__ = ["CacheInfo", "global_cache_stats", "memoize"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,30 @@ class CacheInfo:
     misses: int
     currsize: int
     maxsize: int
+
+
+# Every @memoize()-wrapped function registers itself here (keyed by
+# qualified name), so session-level tooling -- the study runner's report
+# envelope, diagnostics -- can account cache behaviour across the whole
+# process without knowing which modules memoize what.  Values are weak:
+# a memoized function created inside another function (tests do this)
+# drops out of the registry when it is garbage-collected instead of
+# leaking; two live functions sharing a qualname keep the last-registered
+# one, which module-level definitions never hit.
+_CACHE_REGISTRY: "weakref.WeakValueDictionary[str, Callable]" = weakref.WeakValueDictionary()
+_CACHE_REGISTRY_LOCK = threading.Lock()
+
+
+def global_cache_stats() -> dict[str, CacheInfo]:
+    """Snapshot the cache statistics of every live memoized function.
+
+    Keys are ``module.qualname`` of the wrapped functions; values are their
+    current :class:`CacheInfo`.  The study runner diffs two snapshots to
+    report the cache hits/misses one experiment run was responsible for.
+    """
+    with _CACHE_REGISTRY_LOCK:
+        functions = sorted(_CACHE_REGISTRY.items())
+    return {name: fn.cache_info() for name, fn in functions}
 
 
 def memoize(maxsize: int = 128) -> Callable:
@@ -111,6 +136,8 @@ def memoize(maxsize: int = 128) -> Callable:
 
         wrapper.cache_info = cache_info
         wrapper.cache_clear = cache_clear
+        with _CACHE_REGISTRY_LOCK:
+            _CACHE_REGISTRY[f"{fn.__module__}.{fn.__qualname__}"] = wrapper
         return wrapper
 
     return decorator
