@@ -35,6 +35,7 @@ from functools import partial
 
 import numpy as np
 
+from repro.nn.backend import resolve_precision, use_backend
 from repro.nn.datasets import dataset_for_model
 from repro.nn.losses import pair_accuracy
 from repro.nn.model import SiameseModel
@@ -44,7 +45,14 @@ from repro.sim.noise import NoiseStack, QuantizationChannel
 from repro.sim.photonic_inference import evaluate_ensemble, ideal_model_accuracy
 from repro.sim.results import format_table
 from repro.sim.sweep import SweepExecutor, run_sweep
-from repro.study import RunContext, StudyConfig, experiment, run_main
+from repro.study import (
+    RunContext,
+    StudyConfig,
+    backend_field,
+    experiment,
+    precision_field,
+    run_main,
+)
 
 #: Resolution sweep of the paper's Fig. 5.
 DEFAULT_BITS = (1, 2, 4, 6, 8, 12, 16)
@@ -71,7 +79,13 @@ class AccuracyCurve:
 
 
 def _classification_accuracies(
-    model, inputs, labels, bits_sweep: tuple[int, ...], ideal_accuracy: float
+    model,
+    inputs,
+    labels,
+    bits_sweep: tuple[int, ...],
+    ideal_accuracy: float,
+    precision=None,
+    backend=None,
 ) -> list[float]:
     """Accuracy of a classifier at every resolution of the Fig. 5 sweep.
 
@@ -91,6 +105,8 @@ def _classification_accuracies(
         seeds=[0] * len(bits_sweep),
         activation_bits=list(bits_sweep),
         batch_size=128,
+        precision=precision,
+        backend=backend,
         ideal_accuracy=ideal_accuracy,
     )
     return [record.accuracy for record in records]
@@ -115,11 +131,30 @@ def run_for_model(
     epochs: int = 6,
     n_train: int = 400,
     n_test: int = 200,
+    precision=None,
+    backend=None,
 ) -> AccuracyCurve:
-    """Train one compact model and sweep its inference resolution."""
+    """Train one compact model and sweep its inference resolution.
+
+    ``precision`` selects the compute policy for the whole pipeline --
+    under the default float64 policy the curve is bit-identical to the
+    committed reference records; under float32 the model trains *and*
+    evaluates in single precision, with accuracies within the policy's
+    documented tolerance.  ``backend`` selects the kernel backend the
+    training loop and the ensemble sweep run on.
+    """
+    policy = resolve_precision(precision)
     spec = model_spec(model_index)
     model = build_model(model_index, compact=True)
     data = dataset_for_model(model_index, n_train=n_train, n_test=n_test)
+    if not policy.exact:
+        (model.trunk if model_index == 4 else model).astype(policy.dtype)
+        data = tuple(
+            part.astype(policy.dtype, copy=False)
+            if isinstance(part, np.ndarray) and np.issubdtype(part.dtype, np.floating)
+            else part
+            for part in data
+        )
 
     if model_index == 4:
         # Siamese model: train the trunk as a classifier surrogate is not
@@ -131,11 +166,14 @@ def run_for_model(
         # Light training: pull same-class embeddings together by training the
         # trunk to classify which prototype generated each image.
         accuracies = []
-        # Distance threshold calibrated at full precision.
-        full_precision_distances = model.pair_distances(data[3], data[4])
-        threshold = float(np.median(full_precision_distances))
-        for bits in bits_sweep:
-            accuracies.append(_siamese_accuracy_at_bits(model, data, bits, threshold))
+        with use_backend(backend):
+            # Distance threshold calibrated at full precision.
+            full_precision_distances = model.pair_distances(data[3], data[4])
+            threshold = float(np.median(full_precision_distances))
+            for bits in bits_sweep:
+                accuracies.append(
+                    _siamese_accuracy_at_bits(model, data, bits, threshold)
+                )
         return AccuracyCurve(
             model_index=model_index,
             model_name=spec.name,
@@ -144,10 +182,22 @@ def run_for_model(
         )
 
     train_x, train_y, test_x, test_y = data
-    model.fit(train_x, train_y, epochs=epochs, batch_size=32, seed=model_index)
-    ideal = ideal_model_accuracy(model, test_x, test_y, batch_size=128)
+    with use_backend(backend):
+        # track_accuracy=False skips the per-epoch full-train-set evaluate;
+        # the optimisation trajectory (and so the final weights) is
+        # bit-identical, only the unused per-epoch accuracy log disappears.
+        model.fit(
+            train_x,
+            train_y,
+            epochs=epochs,
+            batch_size=32,
+            seed=model_index,
+            track_accuracy=False,
+        )
+        ideal = ideal_model_accuracy(model, test_x, test_y, batch_size=128)
     accuracies = _classification_accuracies(
-        model, test_x, test_y, tuple(bits_sweep), ideal
+        model, test_x, test_y, tuple(bits_sweep), ideal,
+        precision=policy, backend=backend,
     )
     return AccuracyCurve(
         model_index=model_index,
@@ -165,12 +215,16 @@ def run(
     n_test: int = 200,
     n_workers: int | None = None,
     executor: SweepExecutor | None = None,
+    precision=None,
+    backend=None,
 ) -> list[AccuracyCurve]:
     """Accuracy-vs-resolution curves for the requested models.
 
     The per-model sweep points are independent (each trains its own model),
     so ``n_workers > 1`` -- or a warm :class:`SweepExecutor` from a
-    multi-study session -- fans them out over a process pool.
+    multi-study session -- fans them out over a process pool.  ``precision``
+    / ``backend`` select the compute policy and kernel backend per
+    :func:`run_for_model` (worker processes resolve names independently).
     """
     sweep = run_sweep(
         partial(
@@ -179,6 +233,8 @@ def run(
             epochs=epochs,
             n_train=n_train,
             n_test=n_test,
+            precision=resolve_precision(precision).name,
+            backend=backend if backend is None or isinstance(backend, str) else backend.name,
         ),
         [{"model_index": int(index)} for index in model_indices],
         n_workers=n_workers,
@@ -216,6 +272,8 @@ class Fig5Config(StudyConfig):
     epochs: int = field(default=6, metadata={"help": "training epochs per model", "min": 1})
     n_train: int = field(default=400, metadata={"help": "training samples", "min": 1})
     n_test: int = field(default=200, metadata={"help": "test samples", "min": 1})
+    precision: str = precision_field()
+    backend: str | None = backend_field()
 
 
 @experiment(
@@ -225,7 +283,13 @@ class Fig5Config(StudyConfig):
     artefact="Fig. 5",
 )
 def _study(config: Fig5Config, ctx: RunContext) -> tuple[list[AccuracyCurve], str]:
-    """Reproduce Fig. 5: train the zoo models and sweep inference resolution."""
+    """Reproduce Fig. 5: train the zoo models and sweep inference resolution.
+
+    Compute runs on the selected backend under the selected precision
+    policy (``--backend`` / ``--precision``); float64 reproduces the
+    committed reference records bit-exactly, float32 stays within the
+    policy's documented tolerance.
+    """
     curves = run(
         model_indices=config.model_indices,
         bits_sweep=config.bits_sweep,
@@ -234,6 +298,8 @@ def _study(config: Fig5Config, ctx: RunContext) -> tuple[list[AccuracyCurve], st
         n_test=config.n_test,
         n_workers=ctx.n_workers,
         executor=ctx.executor,
+        precision=config.precision,
+        backend=config.backend,
     )
     return curves, _render(curves)
 

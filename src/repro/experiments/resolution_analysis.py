@@ -31,8 +31,16 @@ from repro.crosstalk.resolution import (
     holylight_microdisk_resolution,
     resolution_vs_mrs_per_bank,
 )
+from repro.nn.backend import resolve_precision, use_backend
 from repro.sim.results import format_table
-from repro.study import RunContext, StudyConfig, experiment, run_main
+from repro.study import (
+    RunContext,
+    StudyConfig,
+    backend_field,
+    experiment,
+    precision_field,
+    run_main,
+)
 
 
 @dataclass(frozen=True)
@@ -74,6 +82,8 @@ def bank_size_accuracy(
     epochs: int = 5,
     n_train: int = 300,
     n_test: int = 150,
+    precision=None,
+    backend=None,
 ) -> tuple[BankSizeAccuracyPoint, ...]:
     """Accuracy of a trained compact model at each bank size's resolution.
 
@@ -84,6 +94,10 @@ def bank_size_accuracy(
     accuracy-side rendering of the paper's bank-size trade-off: growing the
     bank beyond ~15 MRs cuts the crosstalk-limited resolution, and this
     study shows where that starts costing model accuracy.
+
+    ``precision`` / ``backend`` select the compute policy and kernel backend
+    for the training run and the ensemble sweep (float64 = bit-exact
+    reference path, float32 = fast path within the policy tolerance).
     """
     # Imported here: the device-level analysis above must stay importable
     # without pulling in the NN substrate.
@@ -92,16 +106,22 @@ def bank_size_accuracy(
     from repro.sim.noise import NoiseStack, QuantizationChannel
     from repro.sim.photonic_inference import evaluate_ensemble, ideal_model_accuracy
 
+    policy = resolve_precision(precision)
     train_x, train_y, test_x, test_y = sign_mnist_synthetic(n_train=n_train, n_test=n_test)
     model = build_model(1, compact=True)
-    model.fit(train_x, train_y, epochs=epochs, batch_size=32, seed=0)
+    if not policy.exact:
+        model.astype(policy.dtype)
+        train_x = train_x.astype(policy.dtype, copy=False)
+        test_x = test_x.astype(policy.dtype, copy=False)
+    with use_backend(backend):
+        model.fit(train_x, train_y, epochs=epochs, batch_size=32, seed=0)
 
-    sizes = [int(size) for size in bank_sizes]
-    bits = [
-        max(1, crosslight_bank_resolution(n_mrs_per_bank=size).resolution_bits)
-        for size in sizes
-    ]
-    ideal = ideal_model_accuracy(model, test_x, test_y, batch_size=128)
+        sizes = [int(size) for size in bank_sizes]
+        bits = [
+            max(1, crosslight_bank_resolution(n_mrs_per_bank=size).resolution_bits)
+            for size in sizes
+        ]
+        ideal = ideal_model_accuracy(model, test_x, test_y, batch_size=128)
     records = evaluate_ensemble(
         model,
         test_x,
@@ -110,6 +130,8 @@ def bank_size_accuracy(
         seeds=[0] * len(sizes),
         activation_bits=bits,
         batch_size=128,
+        precision=policy,
+        backend=backend,
         ideal_accuracy=ideal,
     )
     return tuple(
@@ -123,11 +145,16 @@ def bank_size_accuracy(
     )
 
 
-def run(max_mrs: int = 30, include_accuracy: bool = False) -> ResolutionAnalysisResult:
+def run(
+    max_mrs: int = 30,
+    include_accuracy: bool = False,
+    precision=None,
+    backend=None,
+) -> ResolutionAnalysisResult:
     """Run the resolution analysis for all three accelerator designs."""
     accuracy_points: tuple[BankSizeAccuracyPoint, ...] = ()
     if include_accuracy:
-        accuracy_points = bank_size_accuracy()
+        accuracy_points = bank_size_accuracy(precision=precision, backend=backend)
     return ResolutionAnalysisResult(
         crosslight=crosslight_bank_resolution(),
         deap_cnn=deap_cnn_bank_resolution(),
@@ -213,6 +240,8 @@ class ResolutionAnalysisConfig(StudyConfig):
         metadata={"help": "also run the bank-size vs model-accuracy study "
                           "(trains a model, ensemble-evaluated)"},
     )
+    precision: str = precision_field()
+    backend: str | None = backend_field()
 
 
 @experiment(
@@ -224,8 +253,17 @@ class ResolutionAnalysisConfig(StudyConfig):
 def _study(
     config: ResolutionAnalysisConfig, ctx: RunContext
 ) -> tuple[ResolutionAnalysisResult, str]:
-    """Reproduce Section V.B: crosstalk-limited resolution of all three designs."""
-    result = run(max_mrs=config.max_mrs, include_accuracy=config.include_accuracy)
+    """Reproduce Section V.B: crosstalk-limited resolution of all three designs.
+
+    The optional accuracy study runs on the selected compute backend under
+    the selected precision policy (``--backend`` / ``--precision``).
+    """
+    result = run(
+        max_mrs=config.max_mrs,
+        include_accuracy=config.include_accuracy,
+        precision=config.precision,
+        backend=config.backend,
+    )
     return result, _render(result)
 
 

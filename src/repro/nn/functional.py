@@ -11,11 +11,24 @@ from scratch on NumPy.  This module holds the stateless numerical kernels:
 * softmax / log-softmax with the usual numerical-stability shifts.
 
 All kernels use NCHW layout: ``(batch, channels, height, width)``.
+
+The heavy kernels (GEMMs, im2col/col2im, activation ufuncs) dispatch to the
+process-wide :class:`repro.nn.backend.ComputeBackend`
+(:func:`repro.nn.backend.active_backend`), so swapping the backend swaps the
+numerics of every layer, ensemble, and experiment at once.  The reference
+backend is bit-identical to the historical implementations; see
+:mod:`repro.nn.backend` for the selection API and the precision policy.
+
+Every function here preserves a floating input dtype (float32 in, float32
+out) -- the float32 precision policy relies on no kernel silently upcasting
+to float64.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.nn.backend import active_backend
 
 
 # --------------------------------------------------------------------------- #
@@ -54,23 +67,15 @@ def im2col(
         then a single matrix product against the reshaped kernel bank, which
         is exactly the dot-product decomposition the photonic VDP units
         execute.
-    """
-    if images.ndim != 4:
-        raise ValueError(f"expected NCHW input, got shape {images.shape}")
-    n, c, h, w = images.shape
-    out_h = conv_output_size(h, kernel_h, stride, padding)
-    out_w = conv_output_size(w, kernel_w, stride, padding)
 
-    padded = np.pad(
-        images, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
-    )
-    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=images.dtype)
-    for y in range(kernel_h):
-        y_max = y + stride * out_h
-        for x in range(kernel_w):
-            x_max = x + stride * out_w
-            cols[:, :, y, x, :, :] = padded[:, :, y:y_max:stride, x:x_max:stride]
-    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    Notes
+    -----
+    Dispatches to the active compute backend.  The lowering is a pure
+    gather, so every backend's output is bit-identical; the reference
+    backend applies a cached per-geometry index with one fused
+    :func:`numpy.take` (no python loop, no transpose copy).
+    """
+    return active_backend().im2col(images, kernel_h, kernel_w, stride, padding)
 
 
 def col2im(
@@ -84,22 +89,18 @@ def col2im(
     """Fold columns back into an image tensor (adjoint of :func:`im2col`).
 
     Overlapping patch positions accumulate, which is what makes this the
-    correct gradient operation for the convolution backward pass.
+    correct gradient operation for the convolution backward pass.  The
+    accumulation order over kernel taps is part of the backend bit-identity
+    contract (it fixes the float64 training trajectory).
     """
-    n, c, h, w = input_shape
-    out_h = conv_output_size(h, kernel_h, stride, padding)
-    out_w = conv_output_size(w, kernel_w, stride, padding)
+    return active_backend().col2im(
+        cols, tuple(input_shape), kernel_h, kernel_w, stride, padding
+    )
 
-    cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(0, 3, 4, 5, 1, 2)
-    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
-    for y in range(kernel_h):
-        y_max = y + stride * out_h
-        for x in range(kernel_w):
-            x_max = x + stride * out_w
-            padded[:, :, y:y_max:stride, x:x_max:stride] += cols[:, :, y, x, :, :]
-    if padding == 0:
-        return padded
-    return padded[:, :, padding:-padding, padding:-padding]
+
+def matmul(a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """2-D matrix product on the active compute backend."""
+    return active_backend().matmul(a, b, out=out)
 
 
 # --------------------------------------------------------------------------- #
@@ -125,7 +126,7 @@ def ensemble_dense(inputs: np.ndarray, weights: np.ndarray) -> np.ndarray:
         forward pass -- the property the ensemble inference engine's
         equivalence guarantee rests on.
     """
-    return np.matmul(inputs, weights)
+    return active_backend().batched_matmul(inputs, weights)
 
 
 def ensemble_conv2d(
@@ -177,6 +178,7 @@ def ensemble_conv2d(
     and the Python-level dispatch (one call per layer per batch instead of
     one per member).
     """
+    backend = active_backend()
     kernels = np.asarray(kernels)
     n_members, out_channels = kernels.shape[:2]
     kernel_h, kernel_w = kernels.shape[3], kernels.shape[4]
@@ -190,7 +192,7 @@ def ensemble_conv2d(
     out_h = conv_output_size(h, kernel_h, stride, padding)
     out_w = conv_output_size(w, kernel_w, stride, padding)
     if cols is None and shared:
-        cols = im2col(images, kernel_h, kernel_w, stride, padding)
+        cols = backend.im2col(images, kernel_h, kernel_w, stride, padding)
     kernel_matrices = kernels.reshape(n_members, out_channels, -1).transpose(0, 2, 1)
     n_positions = n * out_h * out_w
     output = np.empty(
@@ -203,8 +205,10 @@ def ensemble_conv2d(
         elif cols is not None:
             member_cols = cols[member]
         else:
-            member_cols = im2col(images[member], kernel_h, kernel_w, stride, padding)
-        np.matmul(member_cols, kernel_matrices[member], out=output[member])
+            member_cols = backend.im2col(
+                images[member], kernel_h, kernel_w, stride, padding
+            )
+        backend.matmul(member_cols, kernel_matrices[member], out=output[member])
     if bias is not None:
         # Cast keeps float32 ensembles in float32 (no-copy identity at
         # float64); without it a float64 bias upcasts the whole output.
@@ -216,8 +220,8 @@ def ensemble_conv2d(
 # Activations
 # --------------------------------------------------------------------------- #
 def relu(x: np.ndarray) -> np.ndarray:
-    """Rectified linear unit."""
-    return np.maximum(x, 0.0)
+    """Rectified linear unit (dispatches to the active backend)."""
+    return active_backend().relu(x)
 
 
 def relu_grad(x: np.ndarray) -> np.ndarray:
@@ -226,24 +230,24 @@ def relu_grad(x: np.ndarray) -> np.ndarray:
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x, dtype=float)
-    positive = x >= 0
-    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
-    exp_x = np.exp(x[~positive])
-    out[~positive] = exp_x / (1.0 + exp_x)
-    return out
+    """Numerically stable logistic sigmoid (dtype-preserving)."""
+    return active_backend().sigmoid(x)
 
 
 def sigmoid_grad(x: np.ndarray) -> np.ndarray:
-    """Derivative of the sigmoid with respect to its input."""
+    """Derivative of the sigmoid with respect to its input.
+
+    Preserves a floating input dtype: the intermediate sigmoid is computed
+    at the input precision instead of being forced to float64, so a float32
+    precision policy stays float32 through the backward pass.
+    """
     s = sigmoid(x)
     return s * (1.0 - s)
 
 
 def tanh(x: np.ndarray) -> np.ndarray:
-    """Hyperbolic tangent activation."""
-    return np.tanh(x)
+    """Hyperbolic tangent activation (dispatches to the active backend)."""
+    return active_backend().tanh(x)
 
 
 def tanh_grad(x: np.ndarray) -> np.ndarray:
@@ -265,13 +269,20 @@ def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """One-hot encode integer class labels."""
+def one_hot(
+    labels: np.ndarray, num_classes: int, dtype: np.dtype | type = float
+) -> np.ndarray:
+    """One-hot encode integer class labels.
+
+    ``dtype`` selects the output precision (default float64, the historical
+    behaviour); float32 callers pass their policy dtype so the encoding does
+    not upcast downstream arithmetic.
+    """
     labels = np.asarray(labels, dtype=int)
     if labels.ndim != 1:
         raise ValueError("labels must be a 1-D array of class indices")
     if np.any(labels < 0) or np.any(labels >= num_classes):
         raise ValueError("labels must lie in [0, num_classes)")
-    encoded = np.zeros((labels.size, num_classes), dtype=float)
+    encoded = np.zeros((labels.size, num_classes), dtype=dtype)
     encoded[np.arange(labels.size), labels] = 1.0
     return encoded

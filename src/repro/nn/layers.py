@@ -92,6 +92,18 @@ class Layer:
         """Back-propagate ``grad_output`` and return the input gradient."""
         raise NotImplementedError
 
+    def backward_params(self, grad_output: np.ndarray) -> None:
+        """Accumulate parameter gradients only (input gradient not needed).
+
+        The training loop calls this for the *first* layer of a model,
+        whose input gradient nothing consumes.  The base implementation
+        simply runs :meth:`backward` and discards the result; layers whose
+        input gradient is expensive (Conv2D's col2im fold, Dense's second
+        GEMM) override it to skip that work -- the parameter gradients are
+        bit-identical either way.
+        """
+        self.backward(grad_output)
+
     def parameters(self) -> dict[str, np.ndarray]:
         """Trainable parameters of the layer (empty for stateless layers)."""
         return {}
@@ -164,7 +176,7 @@ class Dense(Layer):
                 f"Dense expected input of shape (N, {self.in_features}), got {inputs.shape}"
             )
         self._last_input = inputs
-        output = inputs @ self.weight
+        output = F.matmul(inputs, self.weight)
         if self.use_bias:
             output = output + self.bias
         return output
@@ -206,10 +218,17 @@ class Dense(Layer):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._last_input is None:
             raise RuntimeError("backward called before forward")
-        self._grad_weight = self._last_input.T @ grad_output
+        self._grad_weight = F.matmul(self._last_input.T, grad_output)
         if self.use_bias:
             self._grad_bias = grad_output.sum(axis=0)
-        return grad_output @ self.weight.T
+        return F.matmul(grad_output, self.weight.T)
+
+    def backward_params(self, grad_output: np.ndarray) -> None:
+        if self._last_input is None:
+            raise RuntimeError("backward called before forward")
+        self._grad_weight = F.matmul(self._last_input.T, grad_output)
+        if self.use_bias:
+            self._grad_bias = grad_output.sum(axis=0)
 
     def parameters(self) -> dict[str, np.ndarray]:
         params = {"weight": self.weight}
@@ -293,7 +312,7 @@ class Conv2D(Layer):
         out_w = F.conv_output_size(w, self.kernel_size, self.stride, self.padding)
         cols = F.im2col(inputs, self.kernel_size, self.kernel_size, self.stride, self.padding)
         kernel_matrix = self.weight.reshape(self.out_channels, -1).T
-        output = cols @ kernel_matrix
+        output = F.matmul(cols, kernel_matrix)
         if self.use_bias:
             output = output + self.bias
         output = output.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
@@ -351,12 +370,12 @@ class Conv2D(Layer):
         n, _, out_h, out_w = grad_output.shape
         grad_matrix = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
         self._grad_weight = (
-            (cols.T @ grad_matrix).T.reshape(self.weight.shape)
+            F.matmul(cols.T, grad_matrix).T.reshape(self.weight.shape)
         )
         if self.use_bias:
             self._grad_bias = grad_matrix.sum(axis=0)
         kernel_matrix = self.weight.reshape(self.out_channels, -1)
-        grad_cols = grad_matrix @ kernel_matrix
+        grad_cols = F.matmul(grad_matrix, kernel_matrix)
         return F.col2im(
             grad_cols,
             input_shape,
@@ -365,6 +384,18 @@ class Conv2D(Layer):
             self.stride,
             self.padding,
         )
+
+    def backward_params(self, grad_output: np.ndarray) -> None:
+        # Skips the grad_cols GEMM and the col2im fold -- for the first
+        # (largest-spatial) conv of a model that is the single most
+        # expensive step of the whole backward pass.
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        _, cols = self._cache
+        grad_matrix = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        self._grad_weight = F.matmul(cols.T, grad_matrix).T.reshape(self.weight.shape)
+        if self.use_bias:
+            self._grad_bias = grad_matrix.sum(axis=0)
 
     def parameters(self) -> dict[str, np.ndarray]:
         params = {"weight": self.weight}
@@ -410,13 +441,49 @@ class _Pool2D(Layer):
         out_w = F.conv_output_size(w, self.pool_size, self.stride, 0)
         return (c, out_h, out_w)
 
+    def _non_overlapping(self, h: int, w: int) -> bool:
+        """Whether the pooling windows tile the input exactly (no overlap).
+
+        Every model in the paper's zoo pools with ``stride == pool_size`` on
+        evenly divisible maps, so this is the hot case.  When it holds, the
+        patch matrix is a pure reshape/transpose of the input (no im2col
+        gather) and the backward pass is a pure scatter (no col2im
+        accumulation) -- both bit-identical to the general path because each
+        input position belongs to exactly one window.
+        """
+        return self.stride == self.pool_size and h % self.pool_size == 0 and w % self.pool_size == 0
+
     def _patches(self, inputs: np.ndarray) -> tuple[np.ndarray, int, int]:
         n, c, h, w = inputs.shape
         out_h = F.conv_output_size(h, self.pool_size, self.stride, 0)
         out_w = F.conv_output_size(w, self.pool_size, self.stride, 0)
+        ps = self.pool_size
+        if self._non_overlapping(h, w):
+            # Window taps land in the same (row-major y, x) column order the
+            # im2col lowering produces, so downstream argmax tie-breaks and
+            # mean reduction orders are unchanged.
+            windows = inputs.reshape(n, c, out_h, ps, out_w, ps)
+            cols = windows.transpose(0, 1, 2, 4, 3, 5).reshape(-1, ps * ps)
+            return cols, out_h, out_w
         reshaped = inputs.reshape(n * c, 1, h, w)
-        cols = F.im2col(reshaped, self.pool_size, self.pool_size, self.stride, 0)
+        cols = F.im2col(reshaped, ps, ps, self.stride, 0)
         return cols, out_h, out_w
+
+    def _scatter(
+        self, grad_cols: np.ndarray, input_shape: tuple[int, int, int, int],
+        out_h: int, out_w: int,
+    ) -> np.ndarray:
+        """Fold per-window gradients back onto the input grid."""
+        n, c, h, w = input_shape
+        ps = self.pool_size
+        if self._non_overlapping(h, w):
+            return (
+                grad_cols.reshape(n, c, out_h, out_w, ps, ps)
+                .transpose(0, 1, 2, 4, 3, 5)
+                .reshape(n, c, h, w)
+            )
+        grad_images = F.col2im(grad_cols, (n * c, 1, h, w), ps, ps, self.stride, 0)
+        return grad_images.reshape(n, c, h, w)
 
 
 class MaxPool2D(_Pool2D):
@@ -437,12 +504,12 @@ class MaxPool2D(_Pool2D):
             raise RuntimeError("backward called before forward")
         input_shape, argmax, out_h, out_w = self._cache
         n, c, h, w = input_shape
-        grad_cols = np.zeros((n * c * out_h * out_w, self.pool_size * self.pool_size))
-        grad_cols[np.arange(grad_cols.shape[0]), argmax] = grad_output.reshape(-1)
-        grad_images = F.col2im(
-            grad_cols, (n * c, 1, h, w), self.pool_size, self.pool_size, self.stride, 0
+        grad_cols = np.zeros(
+            (n * c * out_h * out_w, self.pool_size * self.pool_size),
+            dtype=grad_output.dtype,
         )
-        return grad_images.reshape(n, c, h, w)
+        grad_cols[np.arange(grad_cols.shape[0]), argmax] = grad_output.reshape(-1)
+        return self._scatter(grad_cols, input_shape, out_h, out_w)
 
 
 class AvgPool2D(_Pool2D):
@@ -461,13 +528,9 @@ class AvgPool2D(_Pool2D):
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         input_shape, out_h, out_w = self._cache
-        n, c, h, w = input_shape
         window = self.pool_size * self.pool_size
         grad_cols = np.repeat(grad_output.reshape(-1, 1), window, axis=1) / window
-        grad_images = F.col2im(
-            grad_cols, (n * c, 1, h, w), self.pool_size, self.pool_size, self.stride, 0
-        )
-        return grad_images.reshape(n, c, h, w)
+        return self._scatter(grad_cols, input_shape, out_h, out_w)
 
 
 class Flatten(Layer):

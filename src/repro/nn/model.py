@@ -77,12 +77,24 @@ class Sequential:
             out = layer.forward(out)
         return out
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        """Back-propagate through all layers (reverse order)."""
+    def backward(
+        self, grad_output: np.ndarray, need_input_grad: bool = True
+    ) -> np.ndarray | None:
+        """Back-propagate through all layers (reverse order).
+
+        ``need_input_grad=False`` lets the first layer accumulate its
+        parameter gradients without materialising the model-input gradient
+        (:meth:`Layer.backward_params`), which nothing consumes during
+        plain training; parameter gradients are bit-identical either way.
+        Returns the input gradient, or ``None`` when skipped.
+        """
         grad = grad_output
-        for layer in reversed(self.layers):
+        for layer in reversed(self.layers[1:]):
             grad = layer.backward(grad)
-        return grad
+        if need_input_grad:
+            return self.layers[0].backward(grad)
+        self.layers[0].backward_params(grad)
+        return None
 
     def predict(self, inputs: np.ndarray, batch_size: int = 128) -> np.ndarray:
         """Inference-mode forward pass, batched to bound memory."""
@@ -92,6 +104,24 @@ class Sequential:
         for start in range(0, inputs.shape[0], batch_size):
             outputs.append(self.forward(inputs[start : start + batch_size]))
         return np.concatenate(outputs, axis=0)
+
+    def astype(self, dtype) -> "Sequential":
+        """Cast every layer's floating state to ``dtype``, in place.
+
+        Covers trainable parameters, gradient buffers, and normalisation
+        running statistics, so a model cast to float32 *before* training
+        optimises entirely in single precision (optimizer state is created
+        with ``zeros_like`` and inherits the dtype).  Returns the model for
+        chaining.  Casting to the model's current dtype is a no-op.
+        """
+        dtype = np.dtype(dtype)
+        for layer in self.layers:
+            for name, value in vars(layer).items():
+                if isinstance(value, np.ndarray) and np.issubdtype(
+                    value.dtype, np.floating
+                ):
+                    setattr(layer, name, value.astype(dtype, copy=False))
+        return self
 
     # ------------------------------------------------------------------ #
     # Modes
@@ -120,8 +150,16 @@ class Sequential:
         shuffle: bool = True,
         seed: int = 0,
         verbose: bool = False,
+        track_accuracy: bool = True,
     ) -> TrainingHistory:
         """Train the model with mini-batch gradient descent.
+
+        ``track_accuracy=False`` skips the full-dataset accuracy evaluation
+        at the end of every epoch (the ``accuracies`` history records NaN).
+        The optimisation trajectory -- and therefore the final weights -- is
+        bit-identical either way; callers that only consume the trained model
+        (e.g. the fig5 sweep) disable tracking to avoid paying one extra
+        inference epoch per training epoch.
 
         Returns
         -------
@@ -147,16 +185,22 @@ class Sequential:
                 batch_y = labels[batch_idx]
                 logits = self.forward(batch_x)
                 loss_value, grad = loss(logits, batch_y)
-                self.backward(grad)
+                self.backward(grad, need_input_grad=False)
                 optimizer.step(self.layers)
                 batch_losses.append(loss_value)
             epoch_losses.append(float(np.mean(batch_losses)))
-            epoch_accuracies.append(self.evaluate(inputs, labels, batch_size=batch_size))
+            if track_accuracy:
+                epoch_accuracies.append(self.evaluate(inputs, labels, batch_size=batch_size))
+            else:
+                epoch_accuracies.append(float("nan"))
             if verbose:
                 print(
                     f"[{self.name}] epoch {epoch + 1}/{epochs} "
                     f"loss={epoch_losses[-1]:.4f} acc={epoch_accuracies[-1]:.3f}"
                 )
+        # The tracking evaluate leaves the model in eval mode; keep that
+        # post-condition when tracking is disabled too.
+        self.eval()
         return TrainingHistory(tuple(epoch_losses), tuple(epoch_accuracies))
 
     def evaluate(self, inputs: np.ndarray, labels: np.ndarray, batch_size: int = 128) -> float:

@@ -84,8 +84,11 @@ class Adam(Optimizer):
         super().step(layers)
 
     def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
-        m = self._m.get(key, np.zeros_like(param))
-        v = self._v.get(key, np.zeros_like(param))
+        m = self._m.get(key)
+        v = self._v.get(key)
+        if m is None:
+            m = np.zeros_like(param)
+            v = np.zeros_like(param)
         m = self.beta1 * m + (1.0 - self.beta1) * grad
         v = self.beta2 * v + (1.0 - self.beta2) * grad**2
         self._m[key] = m

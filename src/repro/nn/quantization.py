@@ -71,11 +71,20 @@ class UniformQuantizer:
         The grid spans exactly ``[-max_abs, +max_abs]`` with ``2**bits``
         levels (both endpoints representable), so quantized values never
         exceed the clipping range and re-quantizing is a no-op.
+
+        A floating input dtype is preserved and the arithmetic runs in that
+        precision: float64 inputs follow the historical bit-exact path, and
+        float32 ensembles quantize without round-tripping through double
+        (accuracy shifts stay within the float32 policy's tolerance).
+        Non-floating inputs are promoted to float64.
         """
-        values = np.asarray(values, dtype=float)
+        values = np.asarray(values)
+        if not np.issubdtype(values.dtype, np.floating):
+            values = values.astype(float)
         clipped = np.clip(values, -self.max_abs, self.max_abs)
         if self.n_levels == 2:
-            return np.where(clipped >= 0.0, self.max_abs, -self.max_abs)
+            bound = values.dtype.type(self.max_abs)
+            return np.where(clipped >= 0.0, bound, -bound)
         level_index = np.round((clipped + self.max_abs) / self.step)
         return -self.max_abs + level_index * self.step
 
@@ -89,9 +98,12 @@ def quantize_array(values: np.ndarray, bits: int, max_abs: float | None = None) 
     """Quantize an array to ``bits`` using a range fit to the data.
 
     When ``max_abs`` is not given it is taken from the array itself (the
-    per-tensor dynamic range a DAC would be programmed for).
+    per-tensor dynamic range a DAC would be programmed for).  Floating input
+    dtypes are preserved (see :meth:`UniformQuantizer.quantize`).
     """
-    values = np.asarray(values, dtype=float)
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.floating):
+        values = values.astype(float)
     if max_abs is None:
         max_abs = float(np.max(np.abs(values))) if values.size else 1.0
         if max_abs == 0.0:
@@ -114,9 +126,9 @@ def quantize_array_stack(values: np.ndarray, bits: int) -> np.ndarray:
     paths (array-bound ``clip`` measures ~3x slower on conv-sized
     activations), and the loop is what guarantees bit-identical members.
 
-    Preserves a floating input dtype (float32 ensembles stay float32; the
-    per-member arithmetic still runs in float64, matching
-    :func:`quantize_array`, and rounds once on assignment).
+    Preserves a floating input dtype: like :func:`quantize_array`, the
+    per-member arithmetic runs in the input precision, so float32 ensembles
+    quantize in float32 end to end.
     """
     check_positive_int("bits", bits)
     values = np.asarray(values)

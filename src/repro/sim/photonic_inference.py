@@ -52,6 +52,7 @@ from collections.abc import Iterable, Sequence as SequenceABC
 from functools import partial
 
 from repro.devices.mr import MicroringResonator
+from repro.nn.backend import active_backend, get_backend, resolve_precision, use_backend
 from repro.nn.layers import BatchNorm, Conv2D, Dropout, Flatten, ReLU, Sigmoid, Tanh
 from repro.nn.model import Sequential
 from repro.nn.quantization import (
@@ -328,11 +329,21 @@ forward_ensemble` / :meth:`~repro.nn.layers.Conv2D.forward_ensemble`);
         Inter-layer activation resolution: one value for all members or a
         per-member sequence (``None`` keeps activations in float).
     dtype:
-        ``numpy.float64`` (exact) or ``numpy.float32`` (memory-lean).
+        Back-compat spelling of ``precision``: ``numpy.float64`` (exact) or
+        ``numpy.float32`` (memory-lean).
+    precision:
+        A :class:`~repro.nn.backend.PrecisionPolicy` (or its name,
+        ``"float64"`` / ``"float32"``) selecting the compute precision and
+        its documented tolerance contract.  Takes precedence over ``dtype``.
     member_chunk:
         Maximum members evaluated simultaneously; defaults to
         :data:`DEFAULT_MEMBER_CHUNK` so peak activation memory stays flat
         in the ensemble size (results are chunk-invariant).
+    backend:
+        Compute backend the fused passes run on: a registered name
+        (``"numpy"``, ``"numba"``, ``"auto"``), a
+        :class:`~repro.nn.backend.ComputeBackend` instance, or ``None`` to
+        use the process-wide active backend.
     """
 
     def __init__(
@@ -341,8 +352,10 @@ forward_ensemble` / :meth:`~repro.nn.layers.Conv2D.forward_ensemble`);
         seeds,
         *,
         activation_bits=None,
-        dtype=np.float64,
+        dtype=None,
+        precision=None,
         member_chunk: int | None = None,
+        backend=None,
     ) -> None:
         shared_stack, member_stacks = self._normalise_stacks(noise_stacks)
         if isinstance(seeds, (int, np.integer)):
@@ -376,9 +389,9 @@ forward_ensemble` / :meth:`~repro.nn.layers.Conv2D.forward_ensemble`);
                 check_positive_int("activation_bits", bits)
         self.activation_bits = bits_list
 
-        self._dtype = np.dtype(dtype)
-        if self._dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
-            raise ValueError(f"dtype must be float64 or float32, got {dtype!r}")
+        self.precision = resolve_precision(precision if precision is not None else dtype)
+        self._dtype = self.precision.dtype
+        self._backend = backend
         if member_chunk is not None:
             check_positive_int("member_chunk", member_chunk)
         self._member_chunk = member_chunk if member_chunk is not None else DEFAULT_MEMBER_CHUNK
@@ -419,6 +432,11 @@ forward_ensemble` / :meth:`~repro.nn.layers.Conv2D.forward_ensemble`);
         if self._member_stacks is not None:
             return self._member_stacks
         return (self._shared_stack,) * self.n_members
+
+    def describe_compute(self) -> str:
+        """One-line summary of the compute backend + precision policy."""
+        backend = get_backend(self._backend) if self._backend is not None else active_backend()
+        return f"backend={backend.name}, precision={self.precision.name}"
 
     # ------------------------------------------------------------------ #
     # Weight perturbation
@@ -491,6 +509,52 @@ forward_ensemble` / :meth:`~repro.nn.layers.Conv2D.forward_ensemble`);
                     chunks.append(range(start + chunk.start, start + chunk.stop))
                 start = member
         return chunks
+
+    def _plan_batch(
+        self,
+        model: Sequential,
+        layer_stacks: dict[int, np.ndarray],
+        batch: np.ndarray,
+        chunks: list[range],
+        cache: dict,
+    ) -> None:
+        """One planning pass fusing the shared prefix across ALL resolutions.
+
+        A resolution sweep (the fig5 shape) arrives as one chunk per
+        activation resolution.  Without planning, each chunk quantizes the
+        batch and lowers it through im2col separately -- one dispatch per
+        resolution point.  This pass instead prepares every resolution's
+        prefix up front: all distinct input-quantization variants are
+        computed, and when the model opens with a noisy Conv2D they are
+        stacked along the batch axis and lowered with **one** backend
+        ``im2col`` call, whose row blocks are then sliced back into the
+        per-resolution cache entries :meth:`_forward_members` consumes.
+
+        The merged lowering is bit-identical to the per-resolution calls:
+        im2col is a pure gather and its rows are ordered by sample, so the
+        rows of variant ``r`` in the merged output are exactly the rows of a
+        standalone ``im2col`` over that variant.
+        """
+        distinct_bits: list[int | None] = []
+        for members in chunks:
+            bits = self.activation_bits[members.start]
+            if bits not in distinct_bits:
+                distinct_bits.append(bits)
+        batch = np.asarray(batch)
+        variants = []
+        for bits in distinct_bits:
+            key = ("in", bits)
+            if key not in cache:
+                cache[key] = self._quantize_shared(self._cast(batch), bits)
+            variants.append(cache[key])
+        first = model.layers[0]
+        if len(variants) > 1 and 0 in layer_stacks and isinstance(first, Conv2D):
+            merged = first.lower(np.concatenate(variants, axis=0))
+            rows_per_variant = merged.shape[0] // len(variants)
+            for i, bits in enumerate(distinct_bits):
+                cache[("cols", 0, bits)] = merged[
+                    i * rows_per_variant : (i + 1) * rows_per_variant
+                ]
 
     def _forward_members(
         self,
@@ -580,20 +644,24 @@ forward_ensemble` / :meth:`~repro.nn.layers.Conv2D.forward_ensemble`);
         seed_e).predict(model, inputs, batch_size)`` elementwise at float64.
         """
         check_positive_int("batch_size", batch_size)
-        layer_stacks = self.perturbed_weight_stacks(model)
-        model.eval()
-        inputs = np.asarray(inputs)
-        chunks = self._member_chunks()
-        outputs = []
-        for start in range(0, inputs.shape[0], batch_size):
-            batch = inputs[start : start + batch_size]
-            cache: dict = {}
-            parts = [
-                self._forward_members(model, layer_stacks, batch, members, cache)
-                for members in chunks
-            ]
-            outputs.append(parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0))
-        return np.concatenate(outputs, axis=1)
+        with use_backend(self._backend):
+            layer_stacks = self.perturbed_weight_stacks(model)
+            model.eval()
+            inputs = np.asarray(inputs)
+            chunks = self._member_chunks()
+            outputs = []
+            for start in range(0, inputs.shape[0], batch_size):
+                batch = inputs[start : start + batch_size]
+                cache: dict = {}
+                self._plan_batch(model, layer_stacks, batch, chunks, cache)
+                parts = [
+                    self._forward_members(model, layer_stacks, batch, members, cache)
+                    for members in chunks
+                ]
+                outputs.append(
+                    parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+                )
+            return np.concatenate(outputs, axis=1)
 
     def evaluate(
         self,
@@ -641,8 +709,10 @@ def evaluate_ensemble(
     *,
     activation_bits=None,
     batch_size: int = 64,
-    dtype=np.float64,
+    dtype=None,
+    precision=None,
     member_chunk: int | None = None,
+    backend=None,
     ideal_accuracy: float | None = None,
 ) -> tuple[PhotonicInferenceResult, ...]:
     """One-shot :class:`EnsembleInferenceEngine` evaluation.
@@ -651,13 +721,17 @@ def evaluate_ensemble(
     per-member :class:`PhotonicInferenceResult` records.  This is the fused
     primitive :func:`monte_carlo_accuracy`,
     :func:`accuracy_vs_residual_drift`, and the experiment drivers run on.
+    ``precision`` and ``backend`` select the compute policy and kernel
+    backend exactly as on the engine constructor.
     """
     engine = EnsembleInferenceEngine(
         noise_stacks,
         seeds,
         activation_bits=activation_bits,
         dtype=dtype,
+        precision=precision,
         member_chunk=member_chunk,
+        backend=backend,
     )
     return engine.evaluate(
         model, inputs, labels, batch_size=batch_size, ideal_accuracy=ideal_accuracy
@@ -776,6 +850,8 @@ def accuracy_vs_residual_drift(
     resolution_bits: int = 16,
     seed: int = 0,
     member_chunk: int | None = None,
+    precision=None,
+    backend=None,
 ) -> list[PhotonicInferenceResult]:
     """Sweep the uncompensated drift and measure inference accuracy.
 
@@ -802,7 +878,9 @@ def accuracy_vs_residual_drift(
         seeds=[int(seed)] * len(stacks),
         activation_bits=resolution_bits,
         batch_size=64,
+        precision=precision,
         member_chunk=member_chunk,
+        backend=backend,
         ideal_accuracy=ideal,
     )
     return list(records)
@@ -852,7 +930,8 @@ def _evaluate_seed_chunk(
     batch_size: int,
     ideal_accuracy: float,
     member_chunk: int | None,
-    dtype: str,
+    precision: str,
+    backend: str | None,
 ) -> tuple[PhotonicInferenceResult, ...]:
     """One contiguous seed chunk, ensemble-evaluated (picklable for pools)."""
     return evaluate_ensemble(
@@ -863,8 +942,9 @@ def _evaluate_seed_chunk(
         seeds=seeds,
         activation_bits=activation_bits,
         batch_size=batch_size,
-        dtype=np.dtype(dtype),
+        precision=precision,
         member_chunk=member_chunk,
+        backend=backend,
         ideal_accuracy=ideal_accuracy,
     )
 
@@ -880,7 +960,9 @@ def monte_carlo_accuracy(
     n_workers: int | None = None,
     ideal_accuracy: float | None = None,
     member_chunk: int | None = None,
-    dtype=np.float64,
+    dtype=None,
+    precision=None,
+    backend=None,
 ) -> MonteCarloAccuracy:
     """Accuracy distribution of a noise stack over seeded Monte-Carlo trials.
 
@@ -924,8 +1006,16 @@ def monte_carlo_accuracy(
         Maximum seeds evaluated simultaneously per process (bounds peak
         memory; defaults to :data:`DEFAULT_MEMBER_CHUNK`).
     dtype:
-        ``numpy.float64`` (exact) or ``numpy.float32`` (memory-lean,
-        small numerical tolerance).
+        Back-compat spelling of ``precision``: ``numpy.float64`` (exact) or
+        ``numpy.float32`` (memory-lean, small numerical tolerance).
+    precision:
+        :class:`~repro.nn.backend.PrecisionPolicy` (or name) selecting the
+        compute precision; takes precedence over ``dtype``.
+    backend:
+        Compute backend name (``"numpy"``/``"numba"``/``"auto"``) or
+        instance; ``None`` uses the process-wide active backend.  Worker
+        processes resolve the name independently, so pass a *name* (not an
+        instance) together with ``n_workers > 1``.
 
     Returns
     -------
@@ -945,12 +1035,15 @@ def monte_carlo_accuracy(
         seed_list = tuple(int(seed) for seed in seeds)
         if not seed_list:
             raise ValueError("seeds must not be empty")
+    policy = resolve_precision(precision if precision is not None else dtype)
     ideal = (
         float(ideal_accuracy)
         if ideal_accuracy is not None
         else ideal_model_accuracy(model, inputs, labels, batch_size=batch_size)
     )
     if n_workers is not None and n_workers > 1 and len(seed_list) > 1:
+        # Backend instances are process-local; ship the name to workers.
+        backend_name = backend if backend is None or isinstance(backend, str) else backend.name
         chunks = plan_chunks(len(seed_list), n_chunks=n_workers)
         sweep = run_sweep(
             partial(
@@ -963,7 +1056,8 @@ def monte_carlo_accuracy(
                 batch_size=batch_size,
                 ideal_accuracy=ideal,
                 member_chunk=member_chunk,
-                dtype=np.dtype(dtype).name,
+                precision=policy.name,
+                backend=backend_name,
             ),
             [{"seeds": tuple(seed_list[i] for i in chunk)} for chunk in chunks],
             n_workers=n_workers,
@@ -978,8 +1072,9 @@ def monte_carlo_accuracy(
             seeds=seed_list,
             activation_bits=activation_bits,
             batch_size=batch_size,
-            dtype=dtype,
+            precision=policy,
             member_chunk=member_chunk,
+            backend=backend,
             ideal_accuracy=ideal,
         )
     return MonteCarloAccuracy(

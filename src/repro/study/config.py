@@ -29,7 +29,48 @@ import typing
 from dataclasses import dataclass, fields
 from typing import Any, Union
 
-__all__ = ["ConfigField", "StudyConfig"]
+__all__ = ["ConfigField", "StudyConfig", "precision_field", "backend_field"]
+
+
+def precision_field(default: str = "float64") -> Any:
+    """A standard ``precision`` config field for compute-policy selection.
+
+    Experiments whose hot path runs through the DNN substrate declare
+    ``precision: str = precision_field()`` to expose the
+    :class:`repro.nn.backend.PrecisionPolicy` choice as a validated,
+    CLI-visible ``--precision`` flag with uniform help text.
+    """
+    return dataclasses.field(
+        default=default,
+        metadata={
+            "help": (
+                "compute precision policy: float64 is bit-exact to the "
+                "reference results, float32 trades bit-identity for speed "
+                "within the documented tolerance"
+            ),
+            "choices": ("float64", "float32"),
+        },
+    )
+
+
+def backend_field(default: str | None = None) -> Any:
+    """A standard ``backend`` config field for compute-backend selection.
+
+    ``None`` (the default) defers to the process-wide active backend
+    (the ``REPRO_BACKEND`` environment variable, default numpy); explicit
+    values are resolved through :func:`repro.nn.backend.get_backend`, so
+    ``auto`` picks an accelerated backend when one is installed.
+    """
+    return dataclasses.field(
+        default=default,
+        metadata={
+            "help": (
+                "compute backend: numpy (reference), numba (accelerated, "
+                "requires the optional numba package), or auto; default is "
+                "the process-wide active backend (REPRO_BACKEND)"
+            ),
+        },
+    )
 
 
 @dataclass(frozen=True)

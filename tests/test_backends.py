@@ -1,0 +1,294 @@
+"""Parity tests for the pluggable compute backends and precision policies.
+
+The numpy backend is the *reference*: under the float64 policy every kernel
+must be bit-identical to the pre-refactor slice-loop implementations (copied
+below verbatim from the seed revision of :mod:`repro.nn.functional`), which
+is what keeps the committed fig5/ablation accuracy records stable across the
+backend refactor.  Under the float32 policy the same kernels run in single
+precision with a bounded relative error on the outputs.  The numba backend,
+when the optional package is installed, must match the numpy backend
+bit-for-bit at float64.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.backend import (
+    FLOAT32_FAST,
+    FLOAT64_EXACT,
+    available_backends,
+    get_backend,
+    resolve_precision,
+    use_backend,
+)
+from repro.nn.layers import Conv2D, Dense
+
+
+def _numba_missing() -> bool:
+    return "numba" not in available_backends()
+
+
+# --------------------------------------------------------------------------- #
+# Reference implementations (pre-refactor, copied from the seed revision)
+# --------------------------------------------------------------------------- #
+def ref_im2col(images, kernel_h, kernel_w, stride=1, padding=0):
+    n, c, h, w = images.shape
+    out_h = F.conv_output_size(h, kernel_h, stride, padding)
+    out_w = F.conv_output_size(w, kernel_w, stride, padding)
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=images.dtype)
+    for y in range(kernel_h):
+        y_max = y + stride * out_h
+        for x in range(kernel_w):
+            x_max = x + stride * out_w
+            cols[:, :, y, x, :, :] = padded[:, :, y:y_max:stride, x:x_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+
+
+def ref_col2im(cols, input_shape, kernel_h, kernel_w, stride=1, padding=0):
+    n, c, h, w = input_shape
+    out_h = F.conv_output_size(h, kernel_h, stride, padding)
+    out_w = F.conv_output_size(w, kernel_w, stride, padding)
+    cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for y in range(kernel_h):
+        y_max = y + stride * out_h
+        for x in range(kernel_w):
+            x_max = x + stride * out_w
+            padded[:, :, y:y_max:stride, x:x_max:stride] += cols[:, :, y, x, :, :]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+conv_geometries = st.tuples(
+    st.integers(min_value=1, max_value=3),  # n
+    st.integers(min_value=1, max_value=4),  # c
+    st.integers(min_value=3, max_value=9),  # h
+    st.integers(min_value=3, max_value=9),  # w
+    st.integers(min_value=1, max_value=3),  # kernel
+    st.integers(min_value=1, max_value=2),  # stride
+    st.integers(min_value=0, max_value=2),  # padding
+).filter(lambda g: g[2] + 2 * g[6] >= g[4] and g[3] + 2 * g[6] >= g[4])
+
+
+class TestNumpyBackendBitIdentity:
+    """The numpy backend reproduces the seed kernels bit-for-bit (float64)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(conv_geometries, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_im2col_matches_reference(self, geometry, seed):
+        n, c, h, w, k, stride, padding = geometry
+        images = np.random.default_rng(seed).standard_normal((n, c, h, w))
+        expected = ref_im2col(images, k, k, stride, padding)
+        result = F.im2col(images, k, k, stride, padding)
+        assert result.dtype == expected.dtype
+        np.testing.assert_array_equal(result, expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(conv_geometries, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_col2im_matches_reference(self, geometry, seed):
+        n, c, h, w, k, stride, padding = geometry
+        out_h = F.conv_output_size(h, k, stride, padding)
+        out_w = F.conv_output_size(w, k, stride, padding)
+        cols = np.random.default_rng(seed).standard_normal(
+            (n * out_h * out_w, c * k * k)
+        )
+        expected = ref_col2im(cols, (n, c, h, w), k, k, stride, padding)
+        result = F.col2im(cols, (n, c, h, w), k, k, stride, padding)
+        assert result.dtype == expected.dtype
+        np.testing.assert_array_equal(result, expected)
+
+    def test_dense_forward_matches_reference(self, rng):
+        layer = Dense(12, 7)
+        inputs = rng.standard_normal((9, 12))
+        np.testing.assert_array_equal(
+            layer.forward(inputs), inputs @ layer.weight + layer.bias
+        )
+
+    def test_conv2d_forward_matches_reference(self, rng):
+        layer = Conv2D(3, 5, kernel_size=3, stride=1, padding=1)
+        inputs = rng.standard_normal((4, 3, 8, 8))
+        cols = ref_im2col(inputs, 3, 3, 1, 1)
+        expected = (
+            (cols @ layer.weight.reshape(5, -1).T + layer.bias)
+            .reshape(4, 8, 8, 5)
+            .transpose(0, 3, 1, 2)
+        )
+        np.testing.assert_array_equal(layer.forward(inputs), expected)
+
+    def test_ensemble_dense_matches_member_loop(self, rng):
+        inputs = rng.standard_normal((4, 6, 10))
+        weights = rng.standard_normal((4, 10, 3))
+        result = F.ensemble_dense(inputs, weights)
+        for member in range(4):
+            np.testing.assert_array_equal(result[member], inputs[member] @ weights[member])
+
+    def test_ensemble_conv2d_matches_member_loop(self, rng):
+        layer = Conv2D(2, 4, kernel_size=3, stride=1, padding=1)
+        inputs = rng.standard_normal((3, 2, 7, 7))
+        weights = np.stack(
+            [layer.weight + 0.01 * rng.standard_normal(layer.weight.shape) for _ in range(3)]
+        )
+        result = layer.forward_ensemble(inputs, weights)
+        for member in range(3):
+            layer.weight = weights[member]
+            np.testing.assert_array_equal(result[member], layer.forward(inputs))
+
+
+class TestFloat32Tolerance:
+    """Float32 kernels stay within the policy's documented relative error."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(conv_geometries, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_im2col_float32_is_exact(self, geometry, seed):
+        # Gathers move values without arithmetic, so even float32 is exact.
+        n, c, h, w, k, stride, padding = geometry
+        images = np.random.default_rng(seed).standard_normal((n, c, h, w))
+        result = F.im2col(images.astype(np.float32), k, k, stride, padding)
+        assert result.dtype == np.float32
+        np.testing.assert_array_equal(
+            result, ref_im2col(images, k, k, stride, padding).astype(np.float32)
+        )
+
+    def test_conv2d_float32_logits_within_policy(self, rng):
+        layer64 = Conv2D(3, 5, kernel_size=3, stride=1, padding=1)
+        inputs = rng.standard_normal((4, 3, 8, 8))
+        expected = layer64.forward(inputs)
+        layer32 = Conv2D(3, 5, kernel_size=3, stride=1, padding=1)
+        layer32.weight = layer64.weight.astype(np.float32)
+        layer32.bias = layer64.bias.astype(np.float32)
+        result = layer32.forward(inputs.astype(np.float32))
+        assert result.dtype == np.float32
+        np.testing.assert_allclose(
+            result, expected, rtol=FLOAT32_FAST.rtol, atol=FLOAT32_FAST.atol
+        )
+
+    def test_full_classifier_float32_logits_within_policy(self, trained_compact_lenet):
+        # The end-to-end tolerance contract: cast a trained float64 model to
+        # float32 and the inference logits agree within the policy bounds.
+        model, test_x, _ = trained_compact_lenet
+        expected = model.predict(test_x[:64])
+        model32 = copy.deepcopy(model).astype(np.float32)
+        result = model32.predict(test_x[:64].astype(np.float32))
+        assert result.dtype == np.float32
+        np.testing.assert_allclose(
+            result, expected, rtol=FLOAT32_FAST.rtol, atol=FLOAT32_FAST.atol
+        )
+
+
+class TestBackendRegistry:
+    def test_numpy_backend_always_available(self):
+        assert "numpy" in available_backends()
+        assert get_backend("numpy").name == "numpy"
+        assert not get_backend("numpy").accelerated
+
+    def test_auto_resolves_to_a_registered_backend(self):
+        assert get_backend("auto").name in available_backends()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("cuda")
+
+    def test_use_backend_none_is_a_noop(self):
+        from repro.nn.backend import active_backend
+
+        before = active_backend().name
+        with use_backend(None):
+            assert active_backend().name == before
+        assert active_backend().name == before
+
+    def test_use_backend_restores_on_exit(self):
+        from repro.nn.backend import active_backend
+
+        before = active_backend().name
+        with use_backend("numpy"):
+            assert active_backend().name == "numpy"
+        assert active_backend().name == before
+
+
+class TestPrecisionPolicies:
+    def test_resolve_names_dtypes_and_policies(self):
+        assert resolve_precision(None) is FLOAT64_EXACT
+        assert resolve_precision("float64") is FLOAT64_EXACT
+        assert resolve_precision("float32") is FLOAT32_FAST
+        assert resolve_precision(np.float32) is FLOAT32_FAST
+        assert resolve_precision(np.dtype(np.float64)) is FLOAT64_EXACT
+        assert resolve_precision(FLOAT32_FAST) is FLOAT32_FAST
+
+    def test_exactness_flags(self):
+        assert FLOAT64_EXACT.exact
+        assert not FLOAT32_FAST.exact
+        assert FLOAT64_EXACT.rtol == 0.0
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_precision("float16")
+        with pytest.raises(ValueError):
+            resolve_precision(np.int32)
+
+
+@pytest.mark.skipif(_numba_missing(), reason="optional numba backend not installed")
+class TestNumbaBackendParity:
+    """The accelerated backend must be bit-identical to numpy at float64."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(conv_geometries, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_im2col_parity(self, geometry, seed):
+        n, c, h, w, k, stride, padding = geometry
+        images = np.random.default_rng(seed).standard_normal((n, c, h, w))
+        expected = get_backend("numpy").im2col(images, k, k, stride, padding)
+        result = get_backend("numba").im2col(images, k, k, stride, padding)
+        np.testing.assert_array_equal(result, expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(conv_geometries, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_col2im_parity(self, geometry, seed):
+        n, c, h, w, k, stride, padding = geometry
+        out_h = F.conv_output_size(h, k, stride, padding)
+        out_w = F.conv_output_size(w, k, stride, padding)
+        cols = np.random.default_rng(seed).standard_normal((n * out_h * out_w, c * k * k))
+        expected = get_backend("numpy").col2im(cols, (n, c, h, w), k, k, stride, padding)
+        result = get_backend("numba").col2im(cols, (n, c, h, w), k, k, stride, padding)
+        np.testing.assert_array_equal(result, expected)
+
+    def test_conv_forward_parity(self, rng):
+        layer = Conv2D(3, 5, kernel_size=3, stride=2, padding=1)
+        inputs = rng.standard_normal((4, 3, 9, 9))
+        with use_backend("numpy"):
+            expected = layer.forward(inputs)
+        with use_backend("numba"):
+            result = layer.forward(inputs)
+        np.testing.assert_array_equal(result, expected)
+
+
+class TestFig5DriverParity:
+    """Backend routing leaves the fig5 float64 records untouched."""
+
+    def test_explicit_numpy_backend_matches_default(self):
+        from repro.experiments.fig5_resolution_accuracy import run_for_model
+
+        kwargs = dict(
+            model_index=1, bits_sweep=(2, 8), epochs=2, n_train=80, n_test=40
+        )
+        default = run_for_model(**kwargs)
+        explicit = run_for_model(backend="numpy", precision="float64", **kwargs)
+        assert default.accuracy == explicit.accuracy
+
+    def test_float32_curve_stays_in_unit_interval(self):
+        from repro.experiments.fig5_resolution_accuracy import run_for_model
+
+        curve = run_for_model(
+            model_index=1, bits_sweep=(2, 8), epochs=2, n_train=80, n_test=40,
+            precision="float32",
+        )
+        assert all(0.0 <= a <= 1.0 for a in curve.accuracy)
