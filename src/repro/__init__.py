@@ -86,7 +86,9 @@ from repro.serve import (
     BatchPolicy,
     BurstyTraffic,
     DiurnalTraffic,
+    FaultModel,
     PoissonTraffic,
+    RetryPolicy,
     ServingReport,
     ServingRuntime,
     TraceTraffic,
@@ -105,7 +107,7 @@ from repro.study import (
     run_experiment,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchPolicy",
@@ -114,6 +116,7 @@ __all__ = [
     "EnsembleInferenceEngine",
     "Experiment",
     "FPVDriftChannel",
+    "FaultModel",
     "InterChannelCrosstalkChannel",
     "MonteCarloAccuracy",
     "NoiseChannel",
@@ -123,6 +126,7 @@ __all__ = [
     "PoissonTraffic",
     "QuantizationChannel",
     "ResidualDriftChannel",
+    "RetryPolicy",
     "RunContext",
     "ServingReport",
     "ServingRuntime",

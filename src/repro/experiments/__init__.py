@@ -16,7 +16,7 @@ shim returning the text report via the registry path.
 
 Driver modules are imported lazily: ``from repro.experiments import
 serving_study`` works as before, but ``import repro.experiments`` alone no
-longer pays for twelve eager module imports.  The canonical name -> module
+longer pays for a dozen eager module imports.  The canonical name -> module
 manifest lives in :data:`repro.study.registry.EXPERIMENT_MODULES`.
 """
 
@@ -31,6 +31,7 @@ __all__ = [
     "fig7_power",
     "fig8_epb",
     "resolution_analysis",
+    "serving_faults",
     "serving_study",
     "table1_models",
     "table2_devices",

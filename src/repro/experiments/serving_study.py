@@ -22,7 +22,9 @@ stream (:mod:`repro.serve`).  Three questions are answered, CrossLight
 
 All sweeps fan out through :func:`repro.sim.sweep.run_sweep`, so
 ``n_workers > 1`` parallelises the study across processes with identical
-results.
+results.  The fleets here are fault-free; the companion study
+:mod:`repro.experiments.serving_faults` stresses the same runtime with
+seeded crashes, thermal throttling, and drains.
 """
 
 from __future__ import annotations

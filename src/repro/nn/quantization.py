@@ -85,6 +85,12 @@ class UniformQuantizer:
         if self.n_levels == 2:
             bound = values.dtype.type(self.max_abs)
             return np.where(clipped >= 0.0, bound, -bound)
+        if values.dtype.type(self.step) == 0.0:
+            # Subnormal max_abs underflows the step to zero in the working
+            # precision: the whole grid collapses onto the clipping bounds,
+            # and the clipped values are already the nearest representable
+            # levels (dividing by the zero step would manufacture NaNs).
+            return clipped
         level_index = np.round((clipped + self.max_abs) / self.step)
         return -self.max_abs + level_index * self.step
 

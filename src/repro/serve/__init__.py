@@ -18,6 +18,9 @@ datacenter-inference studies evaluate and the ROADMAP's
   via :meth:`~repro.arch.accelerator.PhotonicAccelerator.batch_latency_s`,
   optional functional outputs through per-worker noise stacks);
 * :mod:`repro.serve.metrics` -- SLO metrics and :class:`ServingReport`;
+* :mod:`repro.serve.faults` -- seeded fault injection (crash/repair,
+  thermal throttle, permanent drain) and the lost-batch
+  :class:`RetryPolicy`, with availability/goodput degradation metrics;
 * :mod:`repro.serve.runtime` -- the event loop and :func:`serve_trace`.
 
 Quick start::
@@ -39,8 +42,14 @@ Quick start::
 
 from repro.serve.batcher import BatchPolicy, MicroBatcher
 from repro.serve.clock import EventQueue, SimulationClock
-from repro.serve.events import Batch, Request
-from repro.serve.metrics import MetricsCollector, RequestRecord, ServingReport
+from repro.serve.events import Batch, Request, TraceEvent
+from repro.serve.faults import FaultInjector, FaultModel, RetryPolicy
+from repro.serve.metrics import (
+    FailureRecord,
+    MetricsCollector,
+    RequestRecord,
+    ServingReport,
+)
 from repro.serve.runtime import ServingRuntime, requests_from_traffic, serve_trace
 from repro.serve.traffic import (
     BurstyTraffic,
@@ -58,14 +67,19 @@ __all__ = [
     "BurstyTraffic",
     "DiurnalTraffic",
     "EventQueue",
+    "FailureRecord",
+    "FaultInjector",
+    "FaultModel",
     "MetricsCollector",
     "MicroBatcher",
     "PoissonTraffic",
     "Request",
     "RequestRecord",
+    "RetryPolicy",
     "ServingReport",
     "ServingRuntime",
     "SimulationClock",
+    "TraceEvent",
     "TraceTraffic",
     "TrafficProcess",
     "WorkerPool",

@@ -103,6 +103,25 @@ class MicroBatcher:
         self.peak_depth = max(self.peak_depth, len(self._queue))
         return True
 
+    def requeue_front(self, request: Request) -> None:
+        """Re-admit a retried request at the *head* of the queue.
+
+        Used by the fault/retry path: a request whose batch was lost to a
+        worker crash had already been admitted (and has been waiting since
+        its original arrival), so it re-enters at the front to preserve
+        approximate FIFO order and is **not** subject to the
+        ``max_queue_depth`` admission limit -- shedding an already-admitted
+        request would turn a recoverable fault into a spurious rejection
+        and break arrival conservation.
+        """
+        if request.model != self.model:
+            raise ValueError(
+                f"request for model {request.model!r} requeued to the "
+                f"{self.model!r} batcher"
+            )
+        self._queue.appendleft(request)
+        self.peak_depth = max(self.peak_depth, len(self._queue))
+
     @property
     def head(self) -> Request | None:
         """The oldest waiting request, or ``None`` when the queue is empty."""

@@ -22,10 +22,18 @@ from typing import Any
 
 #: Event priorities at equal timestamps (lower runs first).  A batch
 #: completion at time ``t`` must free its worker before a deadline or
-#: arrival at the same ``t`` checks for idle capacity.
+#: arrival at the same ``t`` checks for idle capacity.  Fault transitions
+#: (worker death, repair, throttling) run after completions -- a batch
+#: finishing at the very instant its worker dies counts as completed --
+#: but before deadlines and arrivals, so same-instant dispatch decisions
+#: always observe the post-fault fleet state.  Retry re-admissions land
+#: between faults and deadlines: a request re-queued at ``t`` is already
+#: back in its queue when the deadline/arrival arbitration at ``t`` runs.
 COMPLETION_PRIORITY = 0
-DEADLINE_PRIORITY = 1
-ARRIVAL_PRIORITY = 2
+FAULT_PRIORITY = 1
+RETRY_PRIORITY = 2
+DEADLINE_PRIORITY = 3
+ARRIVAL_PRIORITY = 4
 
 
 class SimulationClock:

@@ -1,23 +1,87 @@
 """Event and record types of the serving runtime.
 
-The discrete-event loop schedules three event kinds -- request arrivals,
-batch deadlines, and batch completions -- and produces two durable records:
+The discrete-event loop schedules request arrivals, batch deadlines, batch
+completions, and -- when a :class:`~repro.serve.faults.FaultInjector` is
+attached -- worker lifecycle transitions (crash/repair, thermal throttle,
+permanent drain) and retry re-admissions.  It produces two durable records:
 :class:`Batch` (one accelerator dispatch) and, in :mod:`repro.serve.metrics`,
 per-request latency records.  Everything here is a frozen dataclass so
 records can be collected into hashable, comparable report tuples.
 
-The runtime also keeps a flat *event trace*: one tuple per observable state
-transition, ``(time_s, kind, *ids)``.  Two runs are behaviourally identical
-iff their traces are equal, which is exactly what the determinism tests
-assert.
+The runtime also keeps a flat *event trace*: one :class:`TraceEvent` per
+observable state transition, ``(time_s, kind, *ids)``.  Two runs are
+behaviourally identical iff their traces are equal, which is exactly what
+the determinism tests assert.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-#: Event-trace entry: ``(time_s, kind, *ids)`` where ``kind`` is one of
-#: ``"arrival"``, ``"shed"``, ``"dispatch"``, ``"complete"``.
+
+class TraceEvent(tuple):
+    """One event-trace entry: a typed view over ``(time_s, kind, *ids)``.
+
+    ``TraceEvent`` subclasses :class:`tuple`, so entries compare, hash, and
+    render exactly like the plain tuples earlier reports carried -- old
+    readers (and old golden traces) keep working unchanged -- while tests
+    and tools get a schema: :attr:`time_s`, :attr:`kind`, and the
+    kind-specific :attr:`ids` tail.
+
+    Kinds and their id tails:
+
+    * ``"arrival"`` / ``"shed"`` -- ``(request_id,)``
+    * ``"dispatch"`` -- ``(batch_id, worker_id, batch_size, model)``
+    * ``"complete"`` -- ``(batch_id,)``
+    * ``"worker_down"`` -- ``(worker_id, cause)`` (``"crash"``/``"drain"``)
+    * ``"worker_up"`` -- ``(worker_id,)``
+    * ``"throttle_start"`` -- ``(worker_id, derate)``
+    * ``"throttle_end"`` -- ``(worker_id,)``
+    * ``"batch_lost"`` -- ``(batch_id, worker_id, batch_size)``
+    * ``"retry"`` -- ``(request_id, attempt)`` (the attempt that was lost)
+    * ``"failed"`` -- ``(request_id, attempts)`` (total attempts consumed)
+    """
+
+    __slots__ = ()
+
+    KINDS = frozenset(
+        {
+            "arrival",
+            "shed",
+            "dispatch",
+            "complete",
+            "worker_down",
+            "worker_up",
+            "throttle_start",
+            "throttle_end",
+            "batch_lost",
+            "retry",
+            "failed",
+        }
+    )
+
+    def __new__(cls, time_s: float, kind: str, *ids) -> "TraceEvent":
+        if kind not in cls.KINDS:
+            raise ValueError(f"unknown trace-event kind {kind!r}")
+        return super().__new__(cls, (float(time_s), kind, *ids))
+
+    @property
+    def time_s(self) -> float:
+        """Simulated time of the transition."""
+        return self[0]
+
+    @property
+    def kind(self) -> str:
+        """The transition kind (see the class docstring)."""
+        return self[1]
+
+    @property
+    def ids(self) -> tuple:
+        """The kind-specific id tail of the entry."""
+        return tuple(self[2:])
+
+
+#: Backward-compatible alias: an event-trace entry is (a subclass of) tuple.
 TraceEntry = tuple
 
 
@@ -91,3 +155,60 @@ class CompletionEvent:
     """A worker finishes a batch and becomes available again."""
 
     batch: Batch
+
+
+@dataclass(frozen=True)
+class WorkerDownEvent:
+    """A worker leaves service: a crash or a permanent drain.
+
+    A crash repairs after an exponentially distributed outage (a matching
+    :class:`WorkerUpEvent` is scheduled by the fault injector); a drain is
+    terminal -- the worker never returns, even if a stale repair event for
+    an earlier crash fires later.
+    """
+
+    worker_id: int
+    cause: str = "crash"  # "crash" | "drain"
+
+
+@dataclass(frozen=True)
+class WorkerUpEvent:
+    """A crashed worker finishes repair and rejoins the fleet."""
+
+    worker_id: int
+
+
+@dataclass(frozen=True)
+class ThrottleStartEvent:
+    """A transient thermal-throttle episode begins on a worker.
+
+    While throttled the worker keeps serving, but every batch *dispatched*
+    during the episode takes ``derate`` times its nominal latency (batches
+    already in flight keep the latency they were priced at).  Episodes
+    carry a per-worker sequence number so a stale end event (the worker
+    crashed mid-episode and was repaired) is a harmless no-op.
+    """
+
+    worker_id: int
+    derate: float
+    episode: int
+
+
+@dataclass(frozen=True)
+class ThrottleEndEvent:
+    """A thermal-throttle episode ends (advisory; checked against state)."""
+
+    worker_id: int
+    episode: int
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """A request from a lost batch re-enters its admission queue.
+
+    Scheduled only when the :class:`~repro.serve.faults.RetryPolicy` has a
+    non-zero backoff; zero-backoff retries re-queue synchronously at the
+    crash instant instead.
+    """
+
+    request: Request

@@ -1,0 +1,251 @@
+"""Seeded fault injection and retry policy for the serving fleet.
+
+Production fleets lose workers: photonic accelerators drift out of thermal
+tune (a transient *throttle* -- the device keeps serving but every batch
+takes longer while the tuning loop recovers), crash outright (power, laser,
+or control-plane failure -- the in-flight batch is lost and the worker is
+unavailable until repaired), or are drained permanently for maintenance.
+This module turns those scenarios into *first-class discrete events* of the
+serving runtime, drawn from seeded renewal processes so one integer seed
+pins an entire fault schedule:
+
+* :class:`FaultModel` -- the declarative fault configuration: exponential
+  MTBF/MTTR crash/repair cycles, exponential-onset throttle episodes with a
+  latency derate factor, and explicit permanent drains;
+* :class:`FaultInjector` -- materialises a :class:`FaultModel` into worker
+  lifecycle events on the runtime's :class:`~repro.serve.clock.EventQueue`
+  (one independent random stream per worker per process, so adding workers
+  or processes never perturbs the others' schedules);
+* :class:`RetryPolicy` -- what happens to the requests of a batch lost to a
+  crash: up to ``max_attempts`` total attempts per request, optional fixed
+  backoff before re-admission, re-queued at the *front* of their model's
+  queue to preserve approximate FIFO order.  Requests that exhaust their
+  attempts become a terminal ``failed`` outcome, a first-class leg of the
+  conservation invariant
+  ``arrivals == completed + shed + failed + queued + in_flight``.
+
+A disabled model (no crash rate, no throttle rate, no drains) schedules
+nothing: attaching ``FaultInjector(FaultModel())`` to a runtime is
+*provably* a no-op -- the report, event trace included, is identical to a
+run with no injector at all, which the property tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.clock import FAULT_PRIORITY, EventQueue
+from repro.serve.events import (
+    ThrottleEndEvent,
+    ThrottleStartEvent,
+    WorkerDownEvent,
+    WorkerUpEvent,
+)
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+__all__ = ["FaultInjector", "FaultModel", "RetryPolicy"]
+
+#: Per-worker substream tags, so crash and throttle schedules never share a
+#: random stream (lengthening one process cannot perturb the other).
+_CRASH_STREAM = 0
+_THROTTLE_STREAM = 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """What happens to requests whose batch was lost to a worker crash.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total dispatch attempts each request may consume (the first
+        dispatch counts).  ``1`` disables retries: a lost request fails
+        immediately.
+    backoff_s:
+        Delay between the crash and the request re-entering its queue.
+        ``0`` (default) re-queues synchronously at the crash instant.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive_int("max_attempts", self.max_attempts)
+        check_non_negative("backoff_s", self.backoff_s)
+
+    def describe(self) -> str:
+        """One-line policy description used in serving reports."""
+        return f"retry(max_attempts={self.max_attempts}, backoff={self.backoff_s:g}s)"
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Declarative fault configuration for one serving fleet.
+
+    Each enabled process is an independent renewal process per worker:
+
+    * **crash/repair** -- up-times are exponential with mean
+      ``crash_mtbf_s``, outages exponential with mean ``repair_mttr_s``.
+      A crash kills the in-flight batch (its requests flow into the
+      :class:`RetryPolicy`) and removes the worker until repair.
+    * **thermal throttle** -- episode onsets arrive with exponential gaps
+      of mean ``throttle_mtbf_s`` and last an exponential
+      ``throttle_duration_s``; while an episode is active every batch
+      dispatched on the worker takes ``throttle_derate`` times its nominal
+      latency (the tuning loop burning cycles to re-lock the rings).
+    * **permanent drain** -- ``drain_at_s`` maps worker ids to the instant
+      they leave the fleet for good.
+
+    ``None`` rates disable a process; the all-default model is fully
+    disabled and injects nothing.
+    """
+
+    crash_mtbf_s: float | None = None
+    repair_mttr_s: float = 1e-3
+    throttle_mtbf_s: float | None = None
+    throttle_duration_s: float = 1e-3
+    throttle_derate: float = 2.0
+    drain_at_s: tuple[tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.crash_mtbf_s is not None:
+            check_positive("crash_mtbf_s", self.crash_mtbf_s)
+        check_positive("repair_mttr_s", self.repair_mttr_s)
+        if self.throttle_mtbf_s is not None:
+            check_positive("throttle_mtbf_s", self.throttle_mtbf_s)
+        check_positive("throttle_duration_s", self.throttle_duration_s)
+        if self.throttle_derate < 1.0:
+            raise ValueError(
+                f"throttle_derate must be >= 1 (a throttled worker cannot "
+                f"speed up), got {self.throttle_derate}"
+            )
+        drains = tuple(
+            (int(worker_id), float(time_s)) for worker_id, time_s in self.drain_at_s
+        )
+        for worker_id, time_s in drains:
+            if worker_id < 0:
+                raise ValueError(f"drain worker id must be >= 0, got {worker_id}")
+            check_non_negative("drain_at_s", time_s)
+        object.__setattr__(self, "drain_at_s", drains)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault process is active."""
+        return (
+            self.crash_mtbf_s is not None
+            or self.throttle_mtbf_s is not None
+            or bool(self.drain_at_s)
+        )
+
+    def describe(self) -> str:
+        """One-line model description used in serving reports."""
+        if not self.enabled:
+            return "none"
+        parts = []
+        if self.crash_mtbf_s is not None:
+            parts.append(
+                f"crash(mtbf={self.crash_mtbf_s:g}s, mttr={self.repair_mttr_s:g}s)"
+            )
+        if self.throttle_mtbf_s is not None:
+            parts.append(
+                f"throttle(mtbf={self.throttle_mtbf_s:g}s, "
+                f"duration={self.throttle_duration_s:g}s, "
+                f"derate={self.throttle_derate:g}x)"
+            )
+        if self.drain_at_s:
+            parts.append(f"drain({len(self.drain_at_s)} workers)")
+        return "faults[" + ", ".join(parts) + "]"
+
+
+class FaultInjector:
+    """Schedules a :class:`FaultModel`'s lifecycle events for one run.
+
+    The injector is stateless between calls: :meth:`schedule` rebuilds its
+    random streams from ``(seed, worker_id, process)`` every time, so the
+    same injector can drive any number of runs and two runs with the same
+    seed see *identical* fault schedules.  Fault onsets are generated
+    inside the traffic window ``[0, duration_s)``; repairs and throttle
+    ends may land beyond it, so a drained run can still recover its
+    backlog after the window closes.
+
+    Parameters
+    ----------
+    model:
+        The fault configuration (a disabled model schedules nothing).
+    seed:
+        Master seed of the fault schedule.  Independent of the traffic
+        seed: the runtime's own arrival draw is untouched, which is what
+        makes the zero-rate injector byte-identical to no injector.
+    """
+
+    def __init__(self, model: FaultModel, seed: int = 0) -> None:
+        if not isinstance(model, FaultModel):
+            raise TypeError(f"model must be a FaultModel, got {type(model).__name__}")
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise TypeError(f"seed must be an int, got {seed!r}")
+        self.model = model
+        self.seed = seed
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this injector will schedule any events."""
+        return self.model.enabled
+
+    def describe(self) -> str:
+        """One-line description used in serving reports."""
+        return self.model.describe()
+
+    def _stream(self, worker_id: int, process: int) -> np.random.Generator:
+        """The independent random stream of one worker's fault process."""
+        return np.random.default_rng([self.seed, worker_id, process])
+
+    def schedule(self, queue: EventQueue, n_workers: int, duration_s: float) -> int:
+        """Push every lifecycle event of the run onto ``queue``.
+
+        Returns the number of events scheduled.  Events are pushed in
+        worker-id order, then chronologically within each worker's
+        process, so same-instant ties break deterministically via the
+        queue's sequence numbers.
+        """
+        check_positive_int("n_workers", n_workers)
+        check_positive("duration_s", duration_s)
+        model = self.model
+        n_events = 0
+        for worker_id, time_s in model.drain_at_s:
+            if worker_id >= n_workers:
+                raise ValueError(
+                    f"drain_at_s names worker {worker_id} but the fleet has "
+                    f"{n_workers} workers"
+                )
+            queue.push(time_s, FAULT_PRIORITY, WorkerDownEvent(worker_id, "drain"))
+            n_events += 1
+        for worker_id in range(n_workers):
+            if model.crash_mtbf_s is not None:
+                rng = self._stream(worker_id, _CRASH_STREAM)
+                t = rng.exponential(model.crash_mtbf_s)
+                while t < duration_s:
+                    queue.push(t, FAULT_PRIORITY, WorkerDownEvent(worker_id, "crash"))
+                    repair_t = t + rng.exponential(model.repair_mttr_s)
+                    queue.push(repair_t, FAULT_PRIORITY, WorkerUpEvent(worker_id))
+                    n_events += 2
+                    t = repair_t + rng.exponential(model.crash_mtbf_s)
+            if model.throttle_mtbf_s is not None:
+                rng = self._stream(worker_id, _THROTTLE_STREAM)
+                episode = 0
+                t = rng.exponential(model.throttle_mtbf_s)
+                while t < duration_s:
+                    end_t = t + rng.exponential(model.throttle_duration_s)
+                    queue.push(
+                        t,
+                        FAULT_PRIORITY,
+                        ThrottleStartEvent(worker_id, model.throttle_derate, episode),
+                    )
+                    queue.push(
+                        end_t, FAULT_PRIORITY, ThrottleEndEvent(worker_id, episode)
+                    )
+                    n_events += 2
+                    episode += 1
+                    t = end_t + rng.exponential(model.throttle_mtbf_s)
+        return n_events

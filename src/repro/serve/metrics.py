@@ -7,10 +7,18 @@ metrics datacenter-inference studies report -- delivered throughput, tail
 latency percentiles (p50/p95/p99), energy per request, fleet utilisation,
 and shed rate.
 
+Fault injection (:mod:`repro.serve.faults`) adds the degradation-side
+metrics: retries, terminal failures, batches lost to crashes and the busy
+time/energy they wasted, per-worker downtime and availability, and
+*goodput* -- completions that needed no retry, the delivered work a
+fault-free fleet would also have delivered.
+
 Conservation is a first-class invariant: every request that arrived is
-accounted for exactly once as completed, shed, still queued, or in flight
-(:attr:`ServingReport.conserved`), which the property tests assert across
-random scenarios.
+accounted for exactly once as completed, shed, **failed**, still queued, or
+in flight (:attr:`ServingReport.conserved`).  :meth:`MetricsCollector.
+finalize` *checks* the invariant and refuses to produce a report that
+violates it, so an accounting bug in the event loop fails loudly instead of
+producing quietly-wrong SLO numbers.
 """
 
 from __future__ import annotations
@@ -55,6 +63,26 @@ class RequestRecord:
 
 
 @dataclass(frozen=True)
+class FailureRecord:
+    """One request that exhausted its retry budget (terminal ``failed``)."""
+
+    request_id: int
+    model: str
+    arrival_s: float
+    failed_s: float
+    attempts: int
+
+    def __post_init__(self) -> None:
+        if self.failed_s < self.arrival_s:
+            raise ValueError(
+                f"request {self.request_id} failed at {self.failed_s}, before "
+                f"its arrival at {self.arrival_s}"
+            )
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+
+@dataclass(frozen=True)
 class ServingReport:
     """Everything one serving run produced, plus derived SLO metrics."""
 
@@ -76,6 +104,16 @@ class ServingReport:
     peak_queue_depth: int
     event_trace: tuple[TraceEntry, ...]
     outputs: dict[int, int] | None = field(default=None, compare=False)
+    # --- fault / degradation extensions (all zero without fault injection) ---
+    faults: str = "none"
+    worker_power_w: tuple[float, ...] = ()
+    worker_downtime_s: tuple[float, ...] = ()
+    failures: tuple[FailureRecord, ...] = ()
+    n_retries: int = 0
+    n_lost_batches: int = 0
+    n_retried_completions: int = 0
+    wasted_busy_s: float = 0.0
+    wasted_energy_j: float = 0.0
 
     # ------------------------------------------------------------------ #
     # Conservation
@@ -86,15 +124,29 @@ class ServingReport:
         return len(self.requests)
 
     @property
+    def n_failed(self) -> int:
+        """Requests that exhausted their retry budget (terminal failures)."""
+        return len(self.failures)
+
+    @property
     def backlog_end(self) -> int:
         """Requests admitted but unfinished at the horizon (queued + in flight)."""
         return self.n_queued_end + self.n_in_flight_end
 
     @property
     def conserved(self) -> bool:
-        """Whether every arrival is accounted for exactly once."""
+        """Whether every arrival is accounted for exactly once.
+
+        The full invariant, failures included::
+
+            arrivals == completed + shed + failed + queued + in_flight
+        """
         return self.n_arrivals == (
-            self.n_completed + self.n_shed + self.n_queued_end + self.n_in_flight_end
+            self.n_completed
+            + self.n_shed
+            + self.n_failed
+            + self.n_queued_end
+            + self.n_in_flight_end
         )
 
     # ------------------------------------------------------------------ #
@@ -166,6 +218,39 @@ class ServingReport:
         return sum(self.worker_busy_s) / (self.n_workers * self.horizon_s)
 
     @property
+    def goodput_rps(self) -> float:
+        """First-attempt completions per second of simulated horizon.
+
+        Completions that needed one or more retries are excluded: they were
+        delivered, but only after consuming extra fleet capacity, so
+        goodput isolates the work a fault-free fleet would also have
+        delivered.  Without faults, ``goodput_rps == throughput_rps``.
+        """
+        if self.horizon_s <= 0:
+            return 0.0
+        return (self.n_completed - self.n_retried_completions) / self.horizon_s
+
+    @property
+    def worker_availability(self) -> tuple[float, ...]:
+        """Per-worker fraction of the horizon spent in service."""
+        if self.horizon_s <= 0 or not self.worker_downtime_s:
+            return tuple(1.0 for _ in range(self.n_workers))
+        return tuple(
+            1.0 - downtime / self.horizon_s for downtime in self.worker_downtime_s
+        )
+
+    @property
+    def availability(self) -> float:
+        """Fleet-mean fraction of the horizon workers were in service."""
+        per_worker = self.worker_availability
+        return sum(per_worker) / len(per_worker) if per_worker else 1.0
+
+    @property
+    def failed_rate(self) -> float:
+        """Fraction of arrivals that terminally failed (retries exhausted)."""
+        return self.n_failed / self.n_arrivals if self.n_arrivals else 0.0
+
+    @property
     def shed_rate(self) -> float:
         """Fraction of arrivals rejected by admission control."""
         return self.n_shed / self.n_arrivals if self.n_arrivals else 0.0
@@ -197,8 +282,12 @@ class ServingReport:
         return sum(batch.deadline_triggered for batch in self.batches) / len(self.batches)
 
     def summary(self) -> str:
-        """One-paragraph human-readable digest of the run."""
-        return (
+        """One-paragraph human-readable digest of the run.
+
+        Fault statistics are appended only when the run actually saw
+        faults, so fault-free summaries read exactly as they always did.
+        """
+        text = (
             f"{self.accelerator} x{self.n_workers} serving {'/'.join(self.models)} "
             f"under {self.traffic} with {self.policy}: "
             f"{self.n_completed}/{self.n_arrivals} completed "
@@ -211,6 +300,14 @@ class ServingReport:
             f"utilisation {self.utilisation:.1%}, "
             f"mean batch {self.mean_batch_size:.2f}"
         )
+        if self.faults != "none":
+            text += (
+                f"; {self.faults}: availability {self.availability:.1%}, "
+                f"goodput {self.goodput_rps:,.0f} rps, "
+                f"{self.n_lost_batches} batches lost, {self.n_retries} retries, "
+                f"{self.n_failed} failed"
+            )
+        return text
 
 
 class MetricsCollector:
@@ -219,8 +316,14 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.n_arrivals = 0
         self.n_shed = 0
+        self.n_retries = 0
+        self.n_lost_batches = 0
+        self.n_retried_completions = 0
+        self.wasted_busy_s = 0.0
+        self.wasted_energy_j = 0.0
         self._requests: list[RequestRecord] = []
         self._batches: list[Batch] = []
+        self._failures: list[FailureRecord] = []
 
     def record_arrival(self, request: Request) -> None:
         """Count one offered request (admitted or shed)."""
@@ -230,9 +333,44 @@ class MetricsCollector:
         """Count one rejected request."""
         self.n_shed += 1
 
-    def record_batch(self, batch: Batch) -> None:
-        """Record a completed batch and its requests' lifecycle records."""
+    def record_retry(self, request: Request) -> None:
+        """Count one request re-queued after its batch was lost."""
+        self.n_retries += 1
+
+    def record_failed(self, request: Request, failed_s: float, attempts: int) -> None:
+        """Record one request whose retry budget is exhausted (terminal)."""
+        self._failures.append(
+            FailureRecord(
+                request_id=request.request_id,
+                model=request.model,
+                arrival_s=request.arrival_s,
+                failed_s=failed_s,
+                attempts=attempts,
+            )
+        )
+
+    def record_lost_batch(
+        self, batch: Batch, *, wasted_busy_s: float, wasted_energy_j: float
+    ) -> None:
+        """Account a batch killed mid-flight by a worker crash.
+
+        The batch produced nothing (its requests retry or fail), but the
+        partial busy time and energy it burned before the crash are real
+        fleet costs and are tracked as *wasted* capacity.
+        """
+        self.n_lost_batches += 1
+        self.wasted_busy_s += wasted_busy_s
+        self.wasted_energy_j += wasted_energy_j
+
+    def record_batch(self, batch: Batch, n_retried: int = 0) -> None:
+        """Record a completed batch and its requests' lifecycle records.
+
+        ``n_retried`` counts how many of the batch's requests had previously
+        lost a batch to a crash -- they complete normally but are excluded
+        from goodput.
+        """
         self._batches.append(batch)
+        self.n_retried_completions += n_retried
         for request in batch.requests:
             self._requests.append(
                 RequestRecord(
@@ -264,9 +402,20 @@ class MetricsCollector:
         peak_queue_depth: int,
         event_trace: tuple[TraceEntry, ...],
         outputs: dict[int, int] | None,
+        faults: str = "none",
+        worker_power_w: tuple[float, ...] = (),
+        worker_downtime_s: tuple[float, ...] = (),
     ) -> ServingReport:
-        """Freeze the accumulated records into a :class:`ServingReport`."""
-        return ServingReport(
+        """Freeze the accumulated records into a :class:`ServingReport`.
+
+        Raises
+        ------
+        RuntimeError
+            If the conservation invariant ``arrivals == completed + shed +
+            failed + queued + in_flight`` does not hold -- an event-loop
+            accounting bug must fail loudly, never produce a report.
+        """
+        report = ServingReport(
             accelerator=accelerator,
             models=models,
             traffic=traffic,
@@ -285,4 +434,21 @@ class MetricsCollector:
             peak_queue_depth=peak_queue_depth,
             event_trace=event_trace,
             outputs=outputs,
+            faults=faults,
+            worker_power_w=worker_power_w,
+            worker_downtime_s=worker_downtime_s,
+            failures=tuple(self._failures),
+            n_retries=self.n_retries,
+            n_lost_batches=self.n_lost_batches,
+            n_retried_completions=self.n_retried_completions,
+            wasted_busy_s=self.wasted_busy_s,
+            wasted_energy_j=self.wasted_energy_j,
         )
+        if not report.conserved:
+            raise RuntimeError(
+                "request conservation violated: "
+                f"{report.n_arrivals} arrivals != {report.n_completed} completed "
+                f"+ {report.n_shed} shed + {report.n_failed} failed "
+                f"+ {report.n_queued_end} queued + {report.n_in_flight_end} in flight"
+            )
+        return report

@@ -21,6 +21,13 @@ Dispatch discipline (the usual dynamic-batching rule):
 * across models, the queue whose head has waited longest goes first
   (FIFO fairness; ties break on model name, then the event order).
 
+With a :class:`~repro.serve.faults.FaultInjector` attached, worker
+lifecycle events (crash/repair, thermal throttle, permanent drain) join the
+same event queue: a crash loses the in-flight batch (its requests retry
+under the :class:`~repro.serve.faults.RetryPolicy` or terminally fail), a
+throttled worker's dispatches are priced at its derate, and a down worker
+is skipped by dispatch arbitration until repaired.
+
 :func:`serve_trace` is the one-call entry point for the common single-model
 scenario; drive :class:`ServingRuntime` directly for multi-model fleets.
 """
@@ -38,6 +45,7 @@ from repro.serve.clock import (
     ARRIVAL_PRIORITY,
     COMPLETION_PRIORITY,
     DEADLINE_PRIORITY,
+    RETRY_PRIORITY,
     EventQueue,
     SimulationClock,
 )
@@ -47,7 +55,14 @@ from repro.serve.events import (
     CompletionEvent,
     DeadlineEvent,
     Request,
+    RetryEvent,
+    ThrottleEndEvent,
+    ThrottleStartEvent,
+    TraceEvent,
+    WorkerDownEvent,
+    WorkerUpEvent,
 )
+from repro.serve.faults import FaultInjector, FaultModel, RetryPolicy
 from repro.serve.metrics import MetricsCollector, ServingReport
 from repro.serve.traffic import TrafficProcess
 from repro.serve.workers import AcceleratorWorker, WorkerPool
@@ -70,17 +85,30 @@ def requests_from_traffic(
     ``n_inputs`` attaches a dataset index to each request (round-robin over
     the dataset) so workers with inference engines can compute functional
     outputs.
+
+    Window-edge rejection happens here, at materialisation: an arrival at
+    or beyond ``traffic.duration_s`` is a contract violation of the traffic
+    process itself, so it raises immediately with the process named, rather
+    than surfacing later as an obscure event-loop error.
     """
     times = traffic.arrival_times(np.random.default_rng(seed))
-    return [
-        Request(
-            request_id=start_id + offset,
-            model=model,
-            arrival_s=float(time),
-            input_index=None if n_inputs is None else (start_id + offset) % n_inputs,
+    requests = []
+    for offset, time in enumerate(times):
+        time = float(time)
+        if time >= traffic.duration_s:
+            raise ValueError(
+                f"traffic process {traffic.describe()} produced an arrival "
+                f"at {time}s, at or beyond its {traffic.duration_s}s window"
+            )
+        requests.append(
+            Request(
+                request_id=start_id + offset,
+                model=model,
+                arrival_s=time,
+                input_index=None if n_inputs is None else (start_id + offset) % n_inputs,
+            )
         )
-        for offset, time in enumerate(times)
-    ]
+    return requests
 
 
 class ServingRuntime:
@@ -107,6 +135,15 @@ class ServingRuntime:
         when ``functional`` models are served.  Seeding each worker's
         engine differently models per-device noise diversity across the
         fleet.
+    faults:
+        Optional fault injection: a :class:`~repro.serve.faults.FaultInjector`
+        (or a bare :class:`~repro.serve.faults.FaultModel`, wrapped with the
+        injector's default seed).  A disabled model is a provable no-op --
+        the report, event trace included, matches a run with no injector.
+    retry:
+        Policy for requests whose batch a crash destroyed (default:
+        :class:`~repro.serve.faults.RetryPolicy` defaults).  Only consulted
+        when faults are active.
     """
 
     def __init__(
@@ -118,12 +155,23 @@ class ServingRuntime:
         n_workers: int = 1,
         functional: Mapping[str, tuple[Sequential, np.ndarray]] | None = None,
         engines: list[PhotonicInferenceEngine] | None = None,
+        faults: FaultInjector | FaultModel | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         check_positive_int("n_workers", n_workers)
         if not workloads:
             raise ValueError("at least one model's workloads are required")
         self.accelerator = accelerator
         self.policy = policy
+        if isinstance(faults, FaultModel):
+            faults = FaultInjector(faults)
+        if faults is not None and not isinstance(faults, FaultInjector):
+            raise TypeError(
+                f"faults must be a FaultInjector or FaultModel, got "
+                f"{type(faults).__name__}"
+            )
+        self.injector = faults
+        self.retry = retry if retry is not None else RetryPolicy()
         self.functional = dict(functional) if functional else {}
         if engines is not None and len(engines) != n_workers:
             raise ValueError(
@@ -180,20 +228,24 @@ class ServingRuntime:
         clock = SimulationClock()
         queue = EventQueue()
         metrics = MetricsCollector()
-        trace: list[tuple] = []
+        trace: list[TraceEvent] = []
         outputs: dict[int, int] = {}
         self._next_batch_id = 0
         self._last_completion_s = 0.0
+        # Fault bookkeeping (touched only when an enabled injector is
+        # attached, so the fault-free hot loop stays unchanged).
+        self._faults_active = self.injector is not None and self.injector.enabled
+        self._in_flight: dict[int, Batch] = {}
+        self._lost_batches: set[int] = set()
+        self._attempts: dict[int, int] = {}
+        self._retried: set[int] = set()
 
         for request in requests:
             if request.model not in self._batchers:
                 raise KeyError(f"no workloads registered for model {request.model!r}")
-            if request.arrival_s >= duration_s:
-                raise ValueError(
-                    f"request {request.request_id} arrives at {request.arrival_s}, "
-                    f"beyond the {duration_s}s traffic window"
-                )
             queue.push(request.arrival_s, ARRIVAL_PRIORITY, ArrivalEvent(request))
+        if self._faults_active:
+            self.injector.schedule(queue, len(self.pool), duration_s)
 
         while queue:
             next_time = queue.peek_time_s()
@@ -209,27 +261,54 @@ class ServingRuntime:
                 self._handle_completion(
                     payload.batch, clock, queue, metrics, trace, outputs
                 )
-            else:  # pragma: no cover - the loop only schedules the three kinds
+            elif isinstance(payload, WorkerDownEvent):
+                self._handle_worker_down(payload, clock, queue, metrics, trace)
+            elif isinstance(payload, WorkerUpEvent):
+                self._handle_worker_up(payload, clock, queue, trace)
+            elif isinstance(payload, ThrottleStartEvent):
+                self._handle_throttle_start(payload, clock, trace)
+            elif isinstance(payload, ThrottleEndEvent):
+                self._handle_throttle_end(payload, clock, trace)
+            elif isinstance(payload, RetryEvent):
+                self._handle_retry(payload, clock, queue, trace)
+            else:  # pragma: no cover - the loop schedules only these kinds
                 raise TypeError(f"unknown event payload {payload!r}")
 
+        pending = queue.drain()
+        # A lost batch's stale CompletionEvent is not work in flight -- its
+        # requests are already accounted as retried (queued) or failed.
         n_in_flight = sum(
             entry[3].batch.size
-            for entry in queue.drain()
+            for entry in pending
             if isinstance(entry[3], CompletionEvent)
+            and entry[3].batch.batch_id not in self._lost_batches
         )
-        n_queued = sum(len(batcher) for batcher in self._batchers.values())
+        # A retry still waiting out its backoff at the cutoff is queued
+        # work: admitted, not in flight, not yet terminal.
+        n_queued = sum(len(batcher) for batcher in self._batchers.values()) + sum(
+            1 for entry in pending if isinstance(entry[3], RetryEvent)
+        )
         # The drained horizon ends at the last *completion*, not the clock:
         # a stale deadline wake-up armed for an already-dispatched head may
         # tick the clock past the final result and must not stretch the
         # window throughput and utilisation are measured over.
         horizon_s = max(duration_s, self._last_completion_s) if drain else duration_s
+        worker_power_w = self.pool.power_w_per_worker
+        # Homogeneous fleets (the only kind this runtime builds) report the
+        # exact per-worker power; a heterogeneous pool would fall back to
+        # the fleet mean, with worker_power_w carrying the truth.
+        power_w = (
+            worker_power_w[0]
+            if len(set(worker_power_w)) == 1
+            else sum(worker_power_w) / len(worker_power_w)
+        )
         return metrics.finalize(
             accelerator=self.accelerator.name,
             models=tuple(self._batchers),
             traffic=traffic_description,
             policy=self.policy.describe(),
             n_workers=len(self.pool),
-            power_w=self.pool.workers[0].power_w,
+            power_w=power_w,
             duration_s=duration_s,
             horizon_s=horizon_s,
             n_queued_end=n_queued,
@@ -240,6 +319,9 @@ class ServingRuntime:
             ),
             event_trace=tuple(trace),
             outputs=outputs if self.functional else None,
+            faults=self.injector.describe() if self._faults_active else "none",
+            worker_power_w=worker_power_w,
+            worker_downtime_s=self.pool.downtime_s_per_worker(horizon_s),
         )
 
     # ------------------------------------------------------------------ #
@@ -250,9 +332,9 @@ class ServingRuntime:
         batcher = self._batchers[request.model]
         if not batcher.offer(request, clock.now_s):
             metrics.record_shed(request)
-            trace.append((clock.now_s, "shed", request.request_id))
+            trace.append(TraceEvent(clock.now_s, "shed", request.request_id))
             return
-        trace.append((clock.now_s, "arrival", request.request_id))
+        trace.append(TraceEvent(clock.now_s, "arrival", request.request_id))
         if batcher.head is request:
             # New queue head: arm its max-wait deadline wake-up.
             queue.push(
@@ -270,10 +352,24 @@ class ServingRuntime:
             self._dispatch_ready(clock, queue, trace)
 
     def _handle_completion(self, batch, clock, queue, metrics, trace, outputs) -> None:
-        metrics.record_batch(batch)
+        n_retried = 0
+        if self._faults_active:
+            if batch.batch_id in self._lost_batches:
+                # The worker crashed mid-flight; the batch produced nothing
+                # and its requests already flowed into retry/fail.
+                self._lost_batches.discard(batch.batch_id)
+                return
+            self._in_flight.pop(batch.worker_id, None)
+            if self._retried:
+                n_retried = sum(
+                    1
+                    for request in batch.requests
+                    if request.request_id in self._retried
+                )
+        metrics.record_batch(batch, n_retried)
         self.pool.workers[batch.worker_id].record_completion(batch.latency_s, batch.size)
         self._last_completion_s = clock.now_s
-        trace.append((clock.now_s, "complete", batch.batch_id))
+        trace.append(TraceEvent(clock.now_s, "complete", batch.batch_id))
         functional = self.functional.get(batch.model)
         if functional is not None:
             model, inputs = functional
@@ -288,6 +384,120 @@ class ServingRuntime:
             for request, prediction in zip(batch.requests, predictions):
                 outputs[request.request_id] = int(prediction)
         self._dispatch_ready(clock, queue, trace)
+
+    # ------------------------------------------------------------------ #
+    # Fault handlers
+    # ------------------------------------------------------------------ #
+    def _handle_worker_down(self, event, clock, queue, metrics, trace) -> None:
+        worker = self.pool.workers[event.worker_id]
+        if worker.state == "down":
+            # A drain landing during an outage makes it permanent; a crash
+            # scheduled before the drain existed is a harmless no-op.
+            if event.cause == "drain":
+                worker.drained = True
+            return
+        worker.mark_down(clock.now_s, drained=event.cause == "drain")
+        trace.append(
+            TraceEvent(clock.now_s, "worker_down", event.worker_id, event.cause)
+        )
+        batch = self._in_flight.pop(event.worker_id, None)
+        if batch is None:
+            return
+        # The in-flight batch dies with the worker: its completion event is
+        # disarmed, the partial busy time/energy it burned is real (wasted)
+        # fleet cost, and its requests retry or terminally fail.
+        self._lost_batches.add(batch.batch_id)
+        elapsed_s = clock.now_s - batch.dispatch_s
+        worker.record_lost(elapsed_s, clock.now_s)
+        metrics.record_lost_batch(
+            batch,
+            wasted_busy_s=elapsed_s,
+            wasted_energy_j=worker.power_w * elapsed_s,
+        )
+        trace.append(
+            TraceEvent(
+                clock.now_s, "batch_lost", batch.batch_id, worker.worker_id, batch.size
+            )
+        )
+        self._retry_or_fail(batch, clock, queue, metrics, trace)
+        # Every synchronous retry is back in its queue now; a survivor may
+        # be idle, and a re-formed full batch must not wait for a deadline.
+        self._dispatch_ready(clock, queue, trace)
+
+    def _handle_worker_up(self, event, clock, queue, trace) -> None:
+        worker = self.pool.workers[event.worker_id]
+        if worker.state != "down" or not worker.mark_up(clock.now_s):
+            return  # stale repair: the worker was drained in the meantime
+        trace.append(TraceEvent(clock.now_s, "worker_up", event.worker_id))
+        self._dispatch_ready(clock, queue, trace)
+
+    def _handle_throttle_start(self, event, clock, trace) -> None:
+        worker = self.pool.workers[event.worker_id]
+        if worker.throttle(event.derate, event.episode):
+            trace.append(
+                TraceEvent(
+                    clock.now_s, "throttle_start", event.worker_id, event.derate
+                )
+            )
+
+    def _handle_throttle_end(self, event, clock, trace) -> None:
+        worker = self.pool.workers[event.worker_id]
+        if worker.unthrottle(event.episode):
+            trace.append(TraceEvent(clock.now_s, "throttle_end", event.worker_id))
+
+    def _handle_retry(self, event, clock, queue, trace) -> None:
+        # Re-admission after backoff.  A *due* head waits for the deadline
+        # wake-up armed by _requeue_front -- it fires at this same instant
+        # but *after* every same-time retry (RETRY_PRIORITY beats
+        # DEADLINE_PRIORITY), so a lost batch re-forms as one batch rather
+        # than dribbling out one single-request dispatch per retry event.
+        # A re-formed *full* batch, however, dispatches immediately: full
+        # batches never wait, and no deadline wake-up would catch one whose
+        # head is not yet due.
+        self._requeue_front(event.request, clock, queue)
+        if self._batchers[event.request.model].has_full_batch():
+            self._dispatch_ready(clock, queue, trace)
+
+    def _retry_or_fail(self, batch, clock, queue, metrics, trace) -> None:
+        """Route every request of a lost batch into retry or terminal failure.
+
+        Requests are walked in *reverse* batch order: each retried request
+        re-enters at the queue head, so the original FIFO order survives
+        the round trip.
+        """
+        backoff_s = self.retry.backoff_s
+        for request in reversed(batch.requests):
+            attempts = self._attempts.get(request.request_id, 1)
+            if attempts >= self.retry.max_attempts:
+                metrics.record_failed(request, clock.now_s, attempts)
+                trace.append(
+                    TraceEvent(clock.now_s, "failed", request.request_id, attempts)
+                )
+                continue
+            metrics.record_retry(request)
+            self._retried.add(request.request_id)
+            trace.append(
+                TraceEvent(clock.now_s, "retry", request.request_id, attempts)
+            )
+            if backoff_s > 0:
+                queue.push(
+                    clock.now_s + backoff_s, RETRY_PRIORITY, RetryEvent(request)
+                )
+            else:
+                self._requeue_front(request, clock, queue)
+
+    def _requeue_front(self, request, clock, queue) -> None:
+        batcher = self._batchers[request.model]
+        batcher.requeue_front(request)
+        # The retried request is the new queue head and its original
+        # max-wait deadline is long past, so the wake-up fires "now" --
+        # giving it (and everything queued behind it) immediate dispatch
+        # priority as soon as a worker is free.
+        queue.push(
+            max(clock.now_s, batcher.head_deadline_s),
+            DEADLINE_PRIORITY,
+            DeadlineEvent(request.model, request.request_id),
+        )
 
     # ------------------------------------------------------------------ #
     # Dispatch arbitration
@@ -315,6 +525,10 @@ class ServingRuntime:
         now = clock.now_s
         requests, deadline_triggered = batcher.pop_batch(now)
         latency_s = self.pool.batch_latency_s(worker, batcher.model, len(requests))
+        if worker.derate != 1.0:
+            # Thermal throttle: the episode's derate is priced into batches
+            # *dispatched* during it (in-flight batches keep their price).
+            latency_s *= worker.derate
         batch = Batch(
             batch_id=self._next_batch_id,
             model=batcher.model,
@@ -327,9 +541,18 @@ class ServingRuntime:
         )
         self._next_batch_id += 1
         worker.dispatch(latency_s, now)
+        if self._faults_active:
+            self._in_flight[worker.worker_id] = batch
+            for request in requests:
+                self._attempts[request.request_id] = (
+                    self._attempts.get(request.request_id, 0) + 1
+                )
         queue.push(batch.completion_s, COMPLETION_PRIORITY, CompletionEvent(batch))
         trace.append(
-            (now, "dispatch", batch.batch_id, worker.worker_id, batch.size, batch.model)
+            TraceEvent(
+                now, "dispatch", batch.batch_id, worker.worker_id, batch.size,
+                batch.model,
+            )
         )
         head = batcher.head
         if head is not None:
@@ -354,6 +577,8 @@ def serve_trace(
     inputs: np.ndarray | None = None,
     noise_stack: NoiseStack | None = None,
     activation_bits: int | None = None,
+    faults: FaultInjector | FaultModel | None = None,
+    retry: RetryPolicy | None = None,
 ) -> ServingReport:
     """Serve one model's simulated traffic and return the full report.
 
@@ -392,6 +617,16 @@ def serve_trace(
         Noise stack for the functional path (default: noiseless).
     activation_bits:
         Activation resolution of the functional path.
+    faults:
+        Optional fault injection.  A bare
+        :class:`~repro.serve.faults.FaultModel` is wrapped in a
+        :class:`~repro.serve.faults.FaultInjector` seeded with the master
+        ``seed``, so one integer still reproduces the entire scenario,
+        faults included; pass an injector directly to pin an independent
+        fault seed.
+    retry:
+        Retry policy for requests lost to crashes (defaults apply when
+        faults are active).
     """
     name = model.name if hasattr(model, "name") else type(model).__name__
     workloads = {name: trace_model(model)}
@@ -412,6 +647,8 @@ def serve_trace(
             )
             for worker_id in range(n_workers)
         ]
+    if isinstance(faults, FaultModel):
+        faults = FaultInjector(faults, seed=seed)
     runtime = ServingRuntime(
         workloads,
         accelerator,
@@ -419,6 +656,8 @@ def serve_trace(
         n_workers=n_workers,
         functional=functional,
         engines=engines,
+        faults=faults,
+        retry=retry,
     )
     requests = requests_from_traffic(
         traffic,

@@ -9,7 +9,7 @@ tests enumerate.  Driver modules import lazily from a static manifest:
 name resolution and :func:`get_experiment` load only the one module they
 need (and ``import repro.experiments`` loads none), while operations that
 need every experiment's metadata -- ``repro list``, ``run --all`` -- do
-import all twelve drivers, since titles and descriptions live in the
+import every driver, since titles and descriptions live in the
 decorator calls.
 """
 
@@ -46,6 +46,7 @@ EXPERIMENT_MODULES: dict[str, str] = {
     "resolution_analysis": "repro.experiments.resolution_analysis",
     "ablation": "repro.experiments.ablation",
     "serving_study": "repro.experiments.serving_study",
+    "serving_faults": "repro.experiments.serving_faults",
 }
 
 #: Accepted spellings -> canonical name (module basenames keep working).

@@ -2,7 +2,7 @@
 
 Covers the API-redesign contract:
 
-* the registry names all 12 experiments and resolves legacy module names;
+* the registry names all 13 experiments and resolves legacy module names;
 * legacy ``run()``/``main()`` shims are equivalent to the registry path
   (same text, byte for byte) for every experiment, at reduced scale where
   a full run would train models for minutes;
@@ -63,6 +63,7 @@ ALL_NAMES = (
     "resolution_analysis",
     "ablation",
     "serving_study",
+    "serving_faults",
 )
 
 #: Pre-redesign output of ``table2_devices.main()``, pinned verbatim: the
@@ -93,7 +94,7 @@ class DemoConfig(StudyConfig):
 
 
 class TestRegistry:
-    def test_names_all_twelve(self):
+    def test_names_all_thirteen(self):
         assert experiment_names() == ALL_NAMES
 
     def test_all_experiments_registered(self):
