@@ -23,7 +23,10 @@ Cross-Layer Optimized Silicon Photonic Neural Network Accelerator*
   reference models;
 * :mod:`repro.sim` -- the performance/energy simulator mapping DNN workloads
   onto accelerator models;
-* :mod:`repro.experiments` -- one driver per paper table/figure.
+* :mod:`repro.experiments` -- one driver per paper table/figure;
+* :mod:`repro.obs` -- opt-in observability (metrics registry, Chrome
+  trace-event timelines, event-loop profiling) threaded through serving,
+  sweeps, and studies without perturbing any result.
 
 Quick start::
 
@@ -61,6 +64,17 @@ the ``repro`` / ``python -m repro`` CLI)::
     report = run_experiment("table2_devices")
     print(report.to_text())        # the paper-table text rendering
     payload = report.to_json()     # schema-stable machine-readable form
+
+Observability (:mod:`repro.obs`; also ``repro run <study> --trace/--metrics
+--profile``)::
+
+    from repro import Observability, StudyRunner
+
+    obs = Observability.enabled(profiler=True)
+    with StudyRunner(obs=obs) as runner:
+        report = runner.run("serving_faults")
+    obs.tracer.write("trace.json")      # open at https://ui.perfetto.dev
+    print(obs.metrics.to_prometheus())
 """
 
 from repro.sim.noise import (
@@ -82,6 +96,7 @@ from repro.sim.photonic_inference import (
     evaluate_ensemble,
     monte_carlo_accuracy,
 )
+from repro.obs import LoopProfiler, MetricsRegistry, Observability, Tracer
 from repro.serve import (
     BatchPolicy,
     BurstyTraffic,
@@ -107,7 +122,7 @@ from repro.study import (
     run_experiment,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BatchPolicy",
@@ -118,9 +133,12 @@ __all__ = [
     "FPVDriftChannel",
     "FaultModel",
     "InterChannelCrosstalkChannel",
+    "LoopProfiler",
+    "MetricsRegistry",
     "MonteCarloAccuracy",
     "NoiseChannel",
     "NoiseStack",
+    "Observability",
     "PhotonicInferenceEngine",
     "PhotonicInferenceResult",
     "PoissonTraffic",
@@ -135,6 +153,7 @@ __all__ = [
     "StudyRunner",
     "ThermalCrosstalkChannel",
     "TraceTraffic",
+    "Tracer",
     "__version__",
     "accuracy_vs_residual_drift",
     "all_experiments",

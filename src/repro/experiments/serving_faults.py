@@ -29,7 +29,9 @@ study is reproducible from one seed (traffic, faults, and fleet included).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.experiments.serving_study import build_accelerator, fleet_capacity_rps
 from repro.nn.zoo import build_model
@@ -45,6 +47,9 @@ from repro.sim.results import format_table
 from repro.sim.sweep import SweepExecutor, run_sweep
 from repro.sim.tracer import trace_model
 from repro.study import RunContext, StudyConfig, experiment, run_experiment
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.obs import Observability
 
 #: Burst multiplier and dwell split of the study's bursty traffic: bursts
 #: run at twice the base rate and occupy ~1/4 of the timeline.
@@ -93,13 +98,16 @@ def evaluate_fault_scenario(
     max_attempts: int = 3,
     backoff_s: float = 0.0,
     max_queue_depth: int | None = None,
+    obs: "Observability | None" = None,
 ) -> FaultPoint:
     """Serve one bursty scenario under a fault model; reduce to a point.
 
     Module-level and picklable so the sweeps fan out through
     :func:`repro.sim.sweep.run_sweep`.  ``rate_rps`` is the *mean* offered
     rate; the bursty process's base/burst rates are derived from it so the
-    same mean load compares across scenarios.
+    same mean load compares across scenarios.  ``obs`` threads serving-level
+    instrumentation through (only bound when the sweep runs serially:
+    registries mutated inside pool workers would be invisible copies).
     """
     accelerator = build_accelerator(accelerator_name)
     model = build_model(model_index)
@@ -134,6 +142,7 @@ def evaluate_fault_scenario(
             throttle_derate=throttle_derate,
         ),
         retry=RetryPolicy(max_attempts=max_attempts, backoff_s=backoff_s),
+        obs=obs,
     )
     return FaultPoint(
         label=label,
@@ -175,6 +184,7 @@ def crash_mid_batch_demo(
     model_index: int = 1,
     max_batch: int = 8,
     max_attempts: int = 3,
+    obs: "Observability | None" = None,
 ) -> CrashDemo:
     """Drain a worker halfway through its only batch and watch the recovery.
 
@@ -197,6 +207,7 @@ def crash_mid_batch_demo(
         seed=0,
         faults=FaultModel(drain_at_s=((0, 0.5 * latency_s),)),
         retry=RetryPolicy(max_attempts=max_attempts),
+        obs=obs,
     )
     completion_workers = tuple(
         sorted({record.worker_id for record in report.requests})
@@ -252,12 +263,18 @@ def run(
     seed: int = 0,
     n_workers: int | None = None,
     executor: SweepExecutor | None = None,
+    obs: "Observability | None" = None,
 ) -> ServingFaultsResult:
     """Run the full fault study (crash sweep, throttles, headroom, demos).
 
     MTBF and MTTR are specified as fractions of the traffic window, so the
     expected *number* of fault events -- not their absolute timing -- is
     what stays fixed as ``n_requests`` rescales the run.
+
+    ``obs`` always instruments the sweep layer; serving-level metrics and
+    worker trace tracks additionally light up when the sweep runs serially
+    (pool workers only mutate pickled registry copies, so obs is withheld
+    from fanned-out points rather than silently dropped).
     """
     capacity = fleet_capacity_rps(accelerator_name, max_batch, fleet_size, model_index)
     rate = load_fraction * capacity
@@ -310,9 +327,13 @@ def run(
             )
         )
 
-    sweep = run_sweep(
-        evaluate_fault_scenario, points, n_workers=n_workers, executor=executor
+    serial = executor is None and (n_workers is None or n_workers <= 1)
+    evaluate = (
+        functools.partial(evaluate_fault_scenario, obs=obs)
+        if obs is not None and serial
+        else evaluate_fault_scenario
     )
+    sweep = run_sweep(evaluate, points, n_workers=n_workers, executor=executor, obs=obs)
     values = list(sweep.values)
     baseline = values[0]
     n_crash = len(mtbf_fractions) * len(mttr_fractions)
@@ -322,9 +343,12 @@ def run(
 
     demos = (
         crash_mid_batch_demo(
-            accelerator_name, model_index, max_batch, max_attempts=max(2, max_attempts)
+            accelerator_name, model_index, max_batch,
+            max_attempts=max(2, max_attempts), obs=obs,
         ),
-        crash_mid_batch_demo(accelerator_name, model_index, max_batch, max_attempts=1),
+        crash_mid_batch_demo(
+            accelerator_name, model_index, max_batch, max_attempts=1, obs=obs
+        ),
     )
     return ServingFaultsResult(
         baseline=baseline,
@@ -478,6 +502,7 @@ def _study(
         seed=ctx.seed,
         n_workers=ctx.n_workers,
         executor=ctx.executor,
+        obs=ctx.obs,
     )
     return result, _render(result, seed=ctx.seed)
 

@@ -29,8 +29,10 @@ seeded crashes, thermal throttling, and drains.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.arch.accelerator import CrossLightAccelerator
 from repro.baselines.deap_cnn import DeapCnnAccelerator
@@ -41,6 +43,9 @@ from repro.sim.results import format_table
 from repro.sim.sweep import SweepExecutor, grid, run_sweep
 from repro.sim.tracer import trace_model
 from repro.study import RunContext, StudyConfig, experiment, run_experiment
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.obs import Observability
 
 #: Accelerators compared by the study, in report order.
 ACCELERATOR_BUILDERS = {
@@ -116,11 +121,14 @@ def evaluate_policy(
     seed: int = 0,
     drain: bool = True,
     max_queue_depth: int | None = None,
+    obs: "Observability | None" = None,
 ) -> ServingPoint:
     """Serve one Poisson scenario and reduce it to a :class:`ServingPoint`.
 
     Module-level and picklable, so every sweep of the study can fan it out
     through :func:`repro.sim.sweep.run_sweep` with ``n_workers > 1``.
+    ``obs`` threads serving-level instrumentation through; it is only bound
+    on serial sweeps (a pool worker would mutate an invisible pickled copy).
     """
     accelerator = build_accelerator(accelerator_name)
     model = build_model(model_index)
@@ -137,6 +145,7 @@ def evaluate_policy(
         n_workers=fleet_size,
         seed=seed,
         drain=drain,
+        obs=obs,
     )
     return ServingPoint(
         accelerator=accelerator_name,
@@ -203,6 +212,20 @@ class ServingStudyResult:
         raise KeyError(f"no saturation result for {accelerator!r}")
 
 
+def _instrumented(fn, n_workers, executor, obs):
+    """Bind ``obs`` into a sweep's evaluation function when it runs serially.
+
+    Pool workers mutate pickled registry copies the session never sees, so
+    serving-level instrumentation is withheld from fanned-out sweeps; the
+    sweep layer itself (:func:`repro.sim.sweep.run_sweep`) still records
+    chunk timings and pool utilisation either way.
+    """
+    serial = executor is None and (n_workers is None or n_workers <= 1)
+    if obs is not None and serial:
+        return functools.partial(fn, obs=obs)
+    return fn
+
+
 def batch_size_sweep(
     accelerators=tuple(ACCELERATOR_BUILDERS),
     max_batches=(1, 2, 4, 8, 16),
@@ -213,6 +236,7 @@ def batch_size_sweep(
     seed: int = 0,
     n_workers: int | None = None,
     executor: SweepExecutor | None = None,
+    obs: "Observability | None" = None,
 ) -> tuple[ServingPoint, ...]:
     """Sweep the maximum micro-batch size at *fixed* traffic per accelerator.
 
@@ -241,7 +265,10 @@ def batch_size_sweep(
             )
         )
     return tuple(
-        run_sweep(evaluate_policy, points, n_workers=n_workers, executor=executor).values
+        run_sweep(
+            _instrumented(evaluate_policy, n_workers, executor, obs),
+            points, n_workers=n_workers, executor=executor, obs=obs,
+        ).values
     )
 
 
@@ -255,6 +282,7 @@ def equal_load_comparison(
     seed: int = 0,
     n_workers: int | None = None,
     executor: SweepExecutor | None = None,
+    obs: "Observability | None" = None,
 ) -> tuple[tuple[ServingPoint, ...], float]:
     """Serve one absolute arrival rate on every accelerator.
 
@@ -277,7 +305,10 @@ def equal_load_comparison(
         n_requests=(n_requests,),
         seed=(seed,),
     )
-    result = run_sweep(evaluate_policy, points, n_workers=n_workers, executor=executor)
+    result = run_sweep(
+        _instrumented(evaluate_policy, n_workers, executor, obs),
+        points, n_workers=n_workers, executor=executor, obs=obs,
+    )
     return tuple(result.values), rate
 
 
@@ -291,6 +322,7 @@ def saturation_sweep(
     seed: int = 0,
     n_workers: int | None = None,
     executor: SweepExecutor | None = None,
+    obs: "Observability | None" = None,
 ) -> tuple[SaturationResult, ...]:
     """Probe each accelerator around its analytic capacity.
 
@@ -318,7 +350,10 @@ def saturation_sweep(
             }
             for fraction in fractions
         ]
-        sweep = run_sweep(evaluate_policy, points, n_workers=n_workers, executor=executor)
+        sweep = run_sweep(
+            _instrumented(evaluate_policy, n_workers, executor, obs),
+            points, n_workers=n_workers, executor=executor, obs=obs,
+        )
         results.append(
             SaturationResult(
                 accelerator=name,
@@ -339,6 +374,7 @@ def run(
     seed: int = 0,
     n_workers: int | None = None,
     executor: SweepExecutor | None = None,
+    obs: "Observability | None" = None,
 ) -> ServingStudyResult:
     """Run the full serving study (batch sweep, equal load, saturation)."""
     batch_points = batch_size_sweep(
@@ -349,6 +385,7 @@ def run(
         seed=seed,
         n_workers=n_workers,
         executor=executor,
+        obs=obs,
     )
     equal_points, equal_rate = equal_load_comparison(
         fleet_size=fleet_size,
@@ -357,6 +394,7 @@ def run(
         seed=seed,
         n_workers=n_workers,
         executor=executor,
+        obs=obs,
     )
     saturation = saturation_sweep(
         fleet_size=fleet_size,
@@ -365,6 +403,7 @@ def run(
         seed=seed,
         n_workers=n_workers,
         executor=executor,
+        obs=obs,
     )
     return ServingStudyResult(
         batch_sweep=batch_points,
@@ -489,6 +528,7 @@ def _study(
         seed=ctx.seed,
         n_workers=ctx.n_workers,
         executor=ctx.executor,
+        obs=ctx.obs,
     )
     text = _render(
         result,

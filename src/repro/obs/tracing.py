@@ -1,0 +1,277 @@
+"""Execution tracing in Chrome trace-event JSON (Perfetto-openable).
+
+A :class:`Tracer` collects *spans* (durations) and *instant events* into
+the `Chrome trace-event format`_ -- the JSON timeline that
+``chrome://tracing`` and https://ui.perfetto.dev open directly.  The
+serving runtime maps **simulated** time onto the trace timebase (one trace
+microsecond per simulated microsecond): each
+:class:`~repro.serve.workers.AcceleratorWorker` becomes a trace "thread"
+carrying its batch-execution, throttle, downtime, and drain spans; each
+request becomes a nestable async span split into queue-wait and service
+phases; faults, retries, and sheds land as instant events.  Wall-clock
+sections (study runs, sweep chunks) go onto their own clearly-named
+processes so the two timebases never share a track.
+
+Not to be confused with :mod:`repro.sim.tracer`, which extracts *workload
+structure* (dot-product shapes) from DNN models -- this module records
+*execution timelines*.
+
+Event phases used (the schema test pins exactly these):
+
+* ``X`` -- complete span (``ts`` + ``dur``), e.g. one batch execution;
+* ``B``/``E`` -- nested begin/end spans on one thread, e.g. a throttle
+  episode; every ``B`` is closed by :meth:`Tracer.end` or, for spans still
+  open at the horizon (a drained worker), by :meth:`Tracer.close_open`;
+* ``b``/``e`` -- nestable async spans correlated by ``(cat, id)`` across
+  threads, used for request lifetimes;
+* ``i`` -- instant events (faults, sheds, retries);
+* ``C`` -- counter series (queue depth over time);
+* ``M`` -- metadata naming processes and threads.
+
+.. _Chrome trace-event format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+__all__ = ["Tracer"]
+
+#: Trace-timebase microseconds per second.
+_US = 1e6
+
+
+class Tracer:
+    """Collects Chrome trace events; export with :meth:`to_json`/:meth:`write`.
+
+    One tracer may span several runs/scenarios: :meth:`new_process`
+    allocates a fresh ``pid`` (a separate named track group), so a whole
+    study session -- every serving scenario plus the wall-clock sweep
+    timeline -- lands in one trace file without id collisions.
+
+    All ``*_s`` timestamps are seconds in the caller's timebase (simulated
+    or wall); they are scaled to trace microseconds on entry.  Export sorts
+    by timestamp (metadata first), so events may be emitted out of order --
+    the serving runtime emits a batch's span at *completion* time, when its
+    true extent is known.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[dict[str, Any]] = []
+        self._meta: list[dict[str, Any]] = []
+        self._next_pid = 1
+        self._pids: dict[str, int] = {}
+        self._wall_epoch: float | None = None
+        # Open B spans per (pid, tid), so unclosed spans (a drained worker's
+        # downtime) can be terminated at the horizon with matching E events.
+        self._open: dict[tuple[int, int], list[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._events) + len(self._meta)
+
+    # ------------------------------------------------------------------ #
+    # Track management
+    # ------------------------------------------------------------------ #
+    def new_process(self, name: str) -> int:
+        """Allocate a fresh ``pid`` and name its track group."""
+        pid = self._next_pid
+        self._next_pid += 1
+        self._meta.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": name}}
+        )
+        return pid
+
+    def process(self, name: str) -> int:
+        """The pid named ``name``, allocating it on first use.
+
+        Unlike :meth:`new_process` (always fresh), this memoizes by name, so
+        repeated callers -- every sweep of a session reporting onto the
+        ``"sim.sweep (wall)"`` track, say -- share one track group.
+        """
+        pid = self._pids.get(name)
+        if pid is None:
+            pid = self._pids[name] = self.new_process(name)
+        return pid
+
+    def wall_now(self) -> float:
+        """Seconds since this tracer's wall epoch (first call defines 0).
+
+        Wall-clock sections (study runs, sweep chunks) use this as their
+        timebase so spans from different callers line up on one timeline.
+        Keep wall tracks on their own processes, named ``"... (wall)"`` --
+        they must never share a track with simulated-time spans.
+        """
+        now = time.perf_counter()
+        if self._wall_epoch is None:
+            self._wall_epoch = now
+        return now - self._wall_epoch
+
+    def thread_name(self, pid: int, tid: int, name: str) -> None:
+        """Name one thread track within a process."""
+        self._meta.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": name}}
+        )
+
+    # ------------------------------------------------------------------ #
+    # Event emission
+    # ------------------------------------------------------------------ #
+    def complete(
+        self,
+        ts_s: float,
+        dur_s: float,
+        name: str,
+        pid: int,
+        tid: int,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """One ``X`` span: a duration whose extent is known at emission."""
+        event = {
+            "name": name, "ph": "X", "ts": ts_s * _US,
+            "dur": max(0.0, dur_s) * _US, "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def begin(
+        self, ts_s: float, name: str, pid: int, tid: int,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """Open a nested ``B`` span on ``(pid, tid)``."""
+        event = {"name": name, "ph": "B", "ts": ts_s * _US, "pid": pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self._events.append(event)
+        self._open.setdefault((pid, tid), []).append(name)
+
+    def end(self, ts_s: float, pid: int, tid: int) -> None:
+        """Close the innermost open ``B`` span on ``(pid, tid)``."""
+        stack = self._open.get((pid, tid))
+        if not stack:
+            raise RuntimeError(f"no open span to end on pid={pid} tid={tid}")
+        name = stack.pop()
+        self._events.append(
+            {"name": name, "ph": "E", "ts": ts_s * _US, "pid": pid, "tid": tid}
+        )
+
+    def close_open(self, ts_s: float) -> int:
+        """Close every still-open ``B`` span at ``ts_s`` (horizon cleanup).
+
+        Returns the number of spans closed.  Keeps the B/E invariant the
+        schema test asserts even for states that never end inside the run
+        (a drained worker's downtime, a throttle crossing the horizon).
+        """
+        closed = 0
+        for (pid, tid), stack in sorted(self._open.items()):
+            while stack:
+                self.end(ts_s, pid, tid)
+                closed += 1
+        return closed
+
+    def instant(
+        self,
+        ts_s: float,
+        name: str,
+        pid: int,
+        tid: int,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """A thread-scoped ``i`` instant event (faults, sheds, retries)."""
+        event = {
+            "name": name, "ph": "i", "ts": ts_s * _US,
+            "pid": pid, "tid": tid, "s": "t",
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def counter(
+        self, ts_s: float, name: str, pid: int, tid: int, values: dict[str, float]
+    ) -> None:
+        """A ``C`` counter sample (rendered as an area chart over time)."""
+        self._events.append(
+            {"name": name, "ph": "C", "ts": ts_s * _US, "pid": pid, "tid": tid,
+             "args": dict(values)}
+        )
+
+    def async_begin(
+        self,
+        ts_s: float,
+        name: str,
+        cat: str,
+        correlation_id: int,
+        pid: int,
+        tid: int = 0,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """Open a nestable async ``b`` span correlated by ``(cat, id)``."""
+        event = {
+            "name": name, "cat": cat, "ph": "b", "id": correlation_id,
+            "ts": ts_s * _US, "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def async_end(
+        self,
+        ts_s: float,
+        name: str,
+        cat: str,
+        correlation_id: int,
+        pid: int,
+        tid: int = 0,
+    ) -> None:
+        """Close the matching async ``e`` span."""
+        self._events.append(
+            {"name": name, "cat": cat, "ph": "e", "id": correlation_id,
+             "ts": ts_s * _US, "pid": pid, "tid": tid}
+        )
+
+    def async_span(
+        self,
+        start_s: float,
+        end_s: float,
+        name: str,
+        cat: str,
+        correlation_id: int,
+        pid: int,
+        tid: int = 0,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """Emit a ``b``/``e`` pair for an extent known at emission time."""
+        self.async_begin(start_s, name, cat, correlation_id, pid, tid, args)
+        self.async_end(end_s, name, cat, correlation_id, pid, tid)
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """The trace as a JSON-object-format Chrome trace.
+
+        Metadata events lead; real events follow sorted by ``(ts, emission
+        order)``, so ``ts`` is monotonic within the payload -- the property
+        the schema test asserts and some viewers silently rely on.
+        """
+        ordered = sorted(
+            enumerate(self._events), key=lambda pair: (pair[1]["ts"], pair[0])
+        )
+        return {
+            "traceEvents": self._meta + [event for _, event in ordered],
+            "displayTimeUnit": "ms",
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The trace serialised as JSON (compact by default; traces are big)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, path) -> None:
+        """Write the trace JSON to ``path`` (open it in Perfetto)."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json() + "\n")

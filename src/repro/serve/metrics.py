@@ -114,6 +114,14 @@ class ServingReport:
     n_retried_completions: int = 0
     wasted_busy_s: float = 0.0
     wasted_energy_j: float = 0.0
+    # --- event-loop throughput (ROADMAP item 1's hot-path baseline) ---
+    #: Events the loop processed; deterministic, so it participates in
+    #: report equality like any other simulated quantity.
+    events_processed: int = 0
+    #: Wall-clock seconds the loop took.  Machine-dependent, hence
+    #: ``compare=False`` -- two identical simulations on different
+    #: machines still compare equal.
+    wall_time_s: float = field(default=0.0, compare=False)
 
     # ------------------------------------------------------------------ #
     # Conservation
@@ -275,6 +283,18 @@ class ServingReport:
         return self.n_completed / len(self.batches)
 
     @property
+    def events_per_sec(self) -> float:
+        """Wall-clock event-loop throughput: events processed per wall second.
+
+        The baseline number for the coming hot-path rewrite (ROADMAP
+        item 1).  Machine-dependent by nature; 0.0 when wall time was too
+        short to resolve.
+        """
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.events_processed / self.wall_time_s
+
+    @property
     def deadline_dispatch_fraction(self) -> float:
         """Fraction of batches dispatched by deadline rather than filling."""
         if not self.batches:
@@ -405,6 +425,8 @@ class MetricsCollector:
         faults: str = "none",
         worker_power_w: tuple[float, ...] = (),
         worker_downtime_s: tuple[float, ...] = (),
+        events_processed: int = 0,
+        wall_time_s: float = 0.0,
     ) -> ServingReport:
         """Freeze the accumulated records into a :class:`ServingReport`.
 
@@ -443,6 +465,8 @@ class MetricsCollector:
             n_retried_completions=self.n_retried_completions,
             wasted_busy_s=self.wasted_busy_s,
             wasted_energy_j=self.wasted_energy_j,
+            events_processed=events_processed,
+            wall_time_s=wall_time_s,
         )
         if not report.conserved:
             raise RuntimeError(

@@ -34,7 +34,9 @@ scenario; drive :class:`ServingRuntime` directly for multi-model fleets.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -70,6 +72,9 @@ from repro.sim.noise import NoiseStack
 from repro.sim.photonic_inference import PhotonicInferenceEngine
 from repro.sim.tracer import trace_model
 from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs uses clock)
+    from repro.obs import Observability
 
 
 def requests_from_traffic(
@@ -144,6 +149,14 @@ class ServingRuntime:
         Policy for requests whose batch a crash destroyed (default:
         :class:`~repro.serve.faults.RetryPolicy` defaults).  Only consulted
         when faults are active.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle.  Whatever subset
+        of its pillars is enabled, instrumentation is strictly read-only:
+        metrics count what the loop did, the tracer maps the run onto a
+        Perfetto timeline (simulated seconds = trace microseconds; one
+        "thread" per worker), and the profiler measures the wall-clock
+        handler costs.  Byte-identity of the report and event trace with
+        an un-observed run is asserted by tests.
     """
 
     def __init__(
@@ -157,6 +170,7 @@ class ServingRuntime:
         engines: list[PhotonicInferenceEngine] | None = None,
         faults: FaultInjector | FaultModel | None = None,
         retry: RetryPolicy | None = None,
+        obs: "Observability | None" = None,
     ) -> None:
         check_positive_int("n_workers", n_workers)
         if not workloads:
@@ -198,6 +212,7 @@ class ServingRuntime:
             name: MicroBatcher(name, policy) for name in workloads
         }
         self._ran = False
+        self.obs = obs
 
     # ------------------------------------------------------------------ #
     # Event loop
@@ -226,7 +241,8 @@ class ServingRuntime:
             raise RuntimeError("a ServingRuntime instance runs once; build a fresh one")
         self._ran = True
         clock = SimulationClock()
-        queue = EventQueue()
+        profiler = self.obs.profiler if self.obs is not None else None
+        queue = profiler.instrument_queue() if profiler is not None else EventQueue()
         metrics = MetricsCollector()
         trace: list[TraceEvent] = []
         outputs: dict[int, int] = {}
@@ -239,6 +255,7 @@ class ServingRuntime:
         self._lost_batches: set[int] = set()
         self._attempts: dict[int, int] = {}
         self._retried: set[int] = set()
+        self._bind_obs(traffic_description)
 
         for request in requests:
             if request.model not in self._batchers:
@@ -247,32 +264,26 @@ class ServingRuntime:
         if self._faults_active:
             self.injector.schedule(queue, len(self.pool), duration_s)
 
+        events_processed = 0
+        if profiler is not None:
+            profiler.start()
+        wall_ns0 = time.perf_counter_ns()
         while queue:
             next_time = queue.peek_time_s()
             if not drain and next_time > duration_s:
                 break
             time_s, _, _, payload = queue.pop()
             clock.advance_to(time_s)
-            if isinstance(payload, ArrivalEvent):
-                self._handle_arrival(payload.request, clock, queue, metrics, trace)
-            elif isinstance(payload, DeadlineEvent):
-                self._handle_deadline(payload, clock, queue, metrics, trace, outputs)
-            elif isinstance(payload, CompletionEvent):
-                self._handle_completion(
-                    payload.batch, clock, queue, metrics, trace, outputs
-                )
-            elif isinstance(payload, WorkerDownEvent):
-                self._handle_worker_down(payload, clock, queue, metrics, trace)
-            elif isinstance(payload, WorkerUpEvent):
-                self._handle_worker_up(payload, clock, queue, trace)
-            elif isinstance(payload, ThrottleStartEvent):
-                self._handle_throttle_start(payload, clock, trace)
-            elif isinstance(payload, ThrottleEndEvent):
-                self._handle_throttle_end(payload, clock, trace)
-            elif isinstance(payload, RetryEvent):
-                self._handle_retry(payload, clock, queue, trace)
-            else:  # pragma: no cover - the loop schedules only these kinds
-                raise TypeError(f"unknown event payload {payload!r}")
+            events_processed += 1
+            if profiler is None:
+                self._process_event(payload, clock, queue, metrics, trace, outputs)
+            else:
+                t0 = time.perf_counter_ns()
+                self._process_event(payload, clock, queue, metrics, trace, outputs)
+                profiler.record(type(payload).__name__, time.perf_counter_ns() - t0)
+        wall_time_s = (time.perf_counter_ns() - wall_ns0) * 1e-9
+        if profiler is not None:
+            profiler.stop()
 
         pending = queue.drain()
         # A lost batch's stale CompletionEvent is not work in flight -- its
@@ -302,6 +313,7 @@ class ServingRuntime:
             if len(set(worker_power_w)) == 1
             else sum(worker_power_w) / len(worker_power_w)
         )
+        self._finalize_obs(horizon_s, events_processed, wall_time_s)
         return metrics.finalize(
             accelerator=self.accelerator.name,
             models=tuple(self._batchers),
@@ -322,19 +334,168 @@ class ServingRuntime:
             faults=self.injector.describe() if self._faults_active else "none",
             worker_power_w=worker_power_w,
             worker_downtime_s=self.pool.downtime_s_per_worker(horizon_s),
+            events_processed=events_processed,
+            wall_time_s=wall_time_s,
         )
+
+    # ------------------------------------------------------------------ #
+    # Observability plumbing (read-only; every hook is attribute-guarded
+    # so the disabled path costs one ``is not None`` test per site)
+    # ------------------------------------------------------------------ #
+    def _bind_obs(self, traffic_description: str) -> None:
+        """Bind per-run instrument references (all ``None`` when disabled)."""
+        obs = self.obs
+        registry = obs.metrics if obs is not None else None
+        self._tracer = obs.tracer if obs is not None else None
+        if registry is not None:
+            labels = obs.label(accelerator=self.accelerator.name)
+            self._m_arrivals = registry.counter(
+                "serve.runtime.arrivals", labels, help="requests offered"
+            )
+            self._m_shed = registry.counter(
+                "serve.runtime.shed", labels, help="requests rejected by admission"
+            )
+            self._m_completed = registry.counter(
+                "serve.runtime.completed", labels, help="requests served"
+            )
+            self._m_batches = registry.counter(
+                "serve.runtime.batches", labels, help="batches completed"
+            )
+            self._m_retries = registry.counter(
+                "serve.runtime.retries", labels, help="crash-lost requests requeued"
+            )
+            self._m_failures = registry.counter(
+                "serve.runtime.failures", labels, help="requests terminally failed"
+            )
+            self._m_lost = registry.counter(
+                "serve.runtime.lost_batches", labels, help="batches lost to crashes"
+            )
+            self._m_latency = registry.histogram(
+                "serve.runtime.latency_s", labels,
+                help="end-to-end request latency (simulated seconds)",
+            )
+            self._m_queue_wait = registry.histogram(
+                "serve.runtime.queue_wait_s", labels,
+                help="admission-queue wait before dispatch (simulated seconds)",
+            )
+            self._m_depth = {
+                name: registry.gauge(
+                    "serve.runtime.queue_depth", {**labels, "model": name},
+                    help="requests waiting in the model's admission queue",
+                )
+                for name in self._batchers
+            }
+        else:
+            self._m_arrivals = self._m_shed = self._m_completed = None
+            self._m_batches = self._m_retries = self._m_failures = None
+            self._m_lost = self._m_latency = self._m_queue_wait = None
+            self._m_depth = None
+        if self._tracer is not None:
+            self._trace_pid = self._tracer.new_process(
+                f"serve {self.accelerator.name} x{len(self.pool)}: "
+                f"{traffic_description}"
+            )
+            self._tracer.thread_name(self._trace_pid, 0, "runtime")
+            for worker in self.pool.workers:
+                self._tracer.thread_name(
+                    self._trace_pid, worker.worker_id + 1,
+                    f"worker-{worker.worker_id}",
+                )
+            # Open availability episodes, closed by the matching end event
+            # or at the horizon.  Emitted as X spans at close time (never
+            # B/E): crash-during-throttle interleavings are not properly
+            # nested, which a per-thread B/E stack cannot represent.
+            self._trace_throttle: dict[int, tuple[float, float]] = {}
+            self._trace_down: dict[int, tuple[float, str]] = {}
+
+    def _trace_queue_depth(self, now_s: float, batcher) -> None:
+        self._tracer.counter(
+            now_s, f"queue:{batcher.model}", self._trace_pid, 0,
+            {"depth": batcher.depth},
+        )
+
+    def _finalize_obs(
+        self, horizon_s: float, events_processed: int, wall_time_s: float
+    ) -> None:
+        """Close open trace episodes and record the run-level metrics."""
+        tracer = self._tracer
+        if tracer is not None:
+            for worker_id, (start_s, derate) in sorted(self._trace_throttle.items()):
+                tracer.complete(
+                    start_s, max(horizon_s, start_s) - start_s,
+                    f"throttle x{derate:g}", self._trace_pid, worker_id + 1,
+                )
+            for worker_id, (start_s, cause) in sorted(self._trace_down.items()):
+                tracer.complete(
+                    start_s, max(horizon_s, start_s) - start_s,
+                    f"down ({cause})", self._trace_pid, worker_id + 1,
+                )
+            self._trace_throttle.clear()
+            self._trace_down.clear()
+        obs = self.obs
+        registry = obs.metrics if obs is not None else None
+        if registry is not None:
+            labels = obs.label(accelerator=self.accelerator.name)
+            registry.counter(
+                "serve.runtime.events_processed", labels,
+                help="discrete events the loop processed",
+            ).inc(events_processed)
+            registry.gauge(
+                "serve.runtime.wall_time_s", labels,
+                help="wall-clock seconds the event loop took",
+            ).inc(wall_time_s)
+            registry.gauge(
+                "serve.runtime.peak_queue_depth", labels,
+                help="deepest any admission queue got",
+            ).set(max(batcher.peak_depth for batcher in self._batchers.values()))
 
     # ------------------------------------------------------------------ #
     # Handlers
     # ------------------------------------------------------------------ #
+    def _process_event(self, payload, clock, queue, metrics, trace, outputs) -> None:
+        """Dispatch one popped event to its handler (the loop body)."""
+        if isinstance(payload, ArrivalEvent):
+            self._handle_arrival(payload.request, clock, queue, metrics, trace)
+        elif isinstance(payload, DeadlineEvent):
+            self._handle_deadline(payload, clock, queue, metrics, trace, outputs)
+        elif isinstance(payload, CompletionEvent):
+            self._handle_completion(
+                payload.batch, clock, queue, metrics, trace, outputs
+            )
+        elif isinstance(payload, WorkerDownEvent):
+            self._handle_worker_down(payload, clock, queue, metrics, trace)
+        elif isinstance(payload, WorkerUpEvent):
+            self._handle_worker_up(payload, clock, queue, trace)
+        elif isinstance(payload, ThrottleStartEvent):
+            self._handle_throttle_start(payload, clock, trace)
+        elif isinstance(payload, ThrottleEndEvent):
+            self._handle_throttle_end(payload, clock, trace)
+        elif isinstance(payload, RetryEvent):
+            self._handle_retry(payload, clock, queue, trace)
+        else:  # pragma: no cover - the loop schedules only these kinds
+            raise TypeError(f"unknown event payload {payload!r}")
+
     def _handle_arrival(self, request, clock, queue, metrics, trace) -> None:
         metrics.record_arrival(request)
+        if self._m_arrivals is not None:
+            self._m_arrivals.inc()
         batcher = self._batchers[request.model]
         if not batcher.offer(request, clock.now_s):
             metrics.record_shed(request)
             trace.append(TraceEvent(clock.now_s, "shed", request.request_id))
+            if self._m_shed is not None:
+                self._m_shed.inc()
+            if self._tracer is not None:
+                self._tracer.instant(
+                    clock.now_s, "shed", self._trace_pid, 0,
+                    args={"request": request.request_id, "model": request.model},
+                )
             return
         trace.append(TraceEvent(clock.now_s, "arrival", request.request_id))
+        if self._m_depth is not None:
+            self._m_depth[request.model].set(batcher.depth)
+        if self._tracer is not None:
+            self._trace_queue_depth(clock.now_s, batcher)
         if batcher.head is request:
             # New queue head: arm its max-wait deadline wake-up.
             queue.push(
@@ -370,6 +531,34 @@ class ServingRuntime:
         self.pool.workers[batch.worker_id].record_completion(batch.latency_s, batch.size)
         self._last_completion_s = clock.now_s
         trace.append(TraceEvent(clock.now_s, "complete", batch.batch_id))
+        if self._m_batches is not None:
+            self._m_batches.inc()
+            self._m_completed.inc(batch.size)
+            for request in batch.requests:
+                self._m_latency.observe(batch.completion_s - request.arrival_s)
+                self._m_queue_wait.observe(batch.dispatch_s - request.arrival_s)
+        if self._tracer is not None:
+            # The batch's true extent is only known now, so its worker-lane
+            # span and its requests' queue/service async spans land here.
+            tid = batch.worker_id + 1
+            self._tracer.complete(
+                batch.dispatch_s, batch.latency_s,
+                f"{batch.model} x{batch.size}", self._trace_pid, tid,
+                args={
+                    "batch": batch.batch_id,
+                    "deadline_triggered": batch.deadline_triggered,
+                    "energy_j": batch.energy_j,
+                },
+            )
+            for request in batch.requests:
+                self._tracer.async_span(
+                    request.arrival_s, batch.dispatch_s, "queue", "request",
+                    request.request_id, self._trace_pid,
+                )
+                self._tracer.async_span(
+                    batch.dispatch_s, batch.completion_s, "service", "request",
+                    request.request_id, self._trace_pid, tid,
+                )
         functional = self.functional.get(batch.model)
         if functional is not None:
             model, inputs = functional
@@ -400,6 +589,18 @@ class ServingRuntime:
         trace.append(
             TraceEvent(clock.now_s, "worker_down", event.worker_id, event.cause)
         )
+        if self._tracer is not None:
+            tid = event.worker_id + 1
+            # mark_down just cancelled any throttle episode; close its span.
+            episode = self._trace_throttle.pop(event.worker_id, None)
+            if episode is not None:
+                start_s, derate = episode
+                self._tracer.complete(
+                    start_s, clock.now_s - start_s, f"throttle x{derate:g}",
+                    self._trace_pid, tid,
+                )
+            self._trace_down[event.worker_id] = (clock.now_s, event.cause)
+            self._tracer.instant(clock.now_s, event.cause, self._trace_pid, tid)
         batch = self._in_flight.pop(event.worker_id, None)
         if batch is None:
             return
@@ -419,6 +620,15 @@ class ServingRuntime:
                 clock.now_s, "batch_lost", batch.batch_id, worker.worker_id, batch.size
             )
         )
+        if self._m_lost is not None:
+            self._m_lost.inc()
+        if self._tracer is not None:
+            self._tracer.complete(
+                batch.dispatch_s, elapsed_s,
+                f"{batch.model} x{batch.size} (lost)",
+                self._trace_pid, worker.worker_id + 1,
+                args={"batch": batch.batch_id},
+            )
         self._retry_or_fail(batch, clock, queue, metrics, trace)
         # Every synchronous retry is back in its queue now; a survivor may
         # be idle, and a re-formed full batch must not wait for a deadline.
@@ -429,6 +639,14 @@ class ServingRuntime:
         if worker.state != "down" or not worker.mark_up(clock.now_s):
             return  # stale repair: the worker was drained in the meantime
         trace.append(TraceEvent(clock.now_s, "worker_up", event.worker_id))
+        if self._tracer is not None:
+            episode = self._trace_down.pop(event.worker_id, None)
+            if episode is not None:
+                start_s, cause = episode
+                self._tracer.complete(
+                    start_s, clock.now_s - start_s, f"down ({cause})",
+                    self._trace_pid, event.worker_id + 1,
+                )
         self._dispatch_ready(clock, queue, trace)
 
     def _handle_throttle_start(self, event, clock, trace) -> None:
@@ -439,11 +657,21 @@ class ServingRuntime:
                     clock.now_s, "throttle_start", event.worker_id, event.derate
                 )
             )
+            if self._tracer is not None:
+                self._trace_throttle[event.worker_id] = (clock.now_s, event.derate)
 
     def _handle_throttle_end(self, event, clock, trace) -> None:
         worker = self.pool.workers[event.worker_id]
         if worker.unthrottle(event.episode):
             trace.append(TraceEvent(clock.now_s, "throttle_end", event.worker_id))
+            if self._tracer is not None:
+                episode = self._trace_throttle.pop(event.worker_id, None)
+                if episode is not None:
+                    start_s, derate = episode
+                    self._tracer.complete(
+                        start_s, clock.now_s - start_s, f"throttle x{derate:g}",
+                        self._trace_pid, event.worker_id + 1,
+                    )
 
     def _handle_retry(self, event, clock, queue, trace) -> None:
         # Re-admission after backoff.  A *due* head waits for the deadline
@@ -473,12 +701,26 @@ class ServingRuntime:
                 trace.append(
                     TraceEvent(clock.now_s, "failed", request.request_id, attempts)
                 )
+                if self._m_failures is not None:
+                    self._m_failures.inc()
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        clock.now_s, "failed", self._trace_pid, 0,
+                        args={"request": request.request_id, "attempts": attempts},
+                    )
                 continue
             metrics.record_retry(request)
             self._retried.add(request.request_id)
             trace.append(
                 TraceEvent(clock.now_s, "retry", request.request_id, attempts)
             )
+            if self._m_retries is not None:
+                self._m_retries.inc()
+            if self._tracer is not None:
+                self._tracer.instant(
+                    clock.now_s, "retry", self._trace_pid, 0,
+                    args={"request": request.request_id, "attempts": attempts},
+                )
             if backoff_s > 0:
                 queue.push(
                     clock.now_s + backoff_s, RETRY_PRIORITY, RetryEvent(request)
@@ -489,6 +731,10 @@ class ServingRuntime:
     def _requeue_front(self, request, clock, queue) -> None:
         batcher = self._batchers[request.model]
         batcher.requeue_front(request)
+        if self._m_depth is not None:
+            self._m_depth[request.model].set(batcher.depth)
+        if self._tracer is not None:
+            self._trace_queue_depth(clock.now_s, batcher)
         # The retried request is the new queue head and its original
         # max-wait deadline is long past, so the wake-up fires "now" --
         # giving it (and everything queued behind it) immediate dispatch
@@ -524,6 +770,10 @@ class ServingRuntime:
     def _dispatch_batch(self, batcher, worker, clock, queue, trace) -> None:
         now = clock.now_s
         requests, deadline_triggered = batcher.pop_batch(now)
+        if self._m_depth is not None:
+            self._m_depth[batcher.model].set(batcher.depth)
+        if self._tracer is not None:
+            self._trace_queue_depth(now, batcher)
         latency_s = self.pool.batch_latency_s(worker, batcher.model, len(requests))
         if worker.derate != 1.0:
             # Thermal throttle: the episode's derate is priced into batches
@@ -579,6 +829,7 @@ def serve_trace(
     activation_bits: int | None = None,
     faults: FaultInjector | FaultModel | None = None,
     retry: RetryPolicy | None = None,
+    obs: "Observability | None" = None,
 ) -> ServingReport:
     """Serve one model's simulated traffic and return the full report.
 
@@ -627,6 +878,9 @@ def serve_trace(
     retry:
         Retry policy for requests lost to crashes (defaults apply when
         faults are active).
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle (metrics /
+        tracing / profiling); guaranteed not to change the report.
     """
     name = model.name if hasattr(model, "name") else type(model).__name__
     workloads = {name: trace_model(model)}
@@ -658,6 +912,7 @@ def serve_trace(
         engines=engines,
         faults=faults,
         retry=retry,
+        obs=obs,
     )
     requests = requests_from_traffic(
         traffic,

@@ -33,14 +33,18 @@ Example
 from __future__ import annotations
 
 import itertools
+import time
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.utils.cache import CacheInfo, memoize
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (avoids an import cycle)
+    from repro.obs import Observability
 
 __all__ = [
     "CacheInfo",
@@ -217,6 +221,19 @@ def _evaluate_chunk(fn: Callable[..., Any], chunk: list[dict[str, Any]]) -> list
     return [fn(**point) for point in chunk]
 
 
+def _evaluate_chunk_timed(
+    fn: Callable[..., Any], chunk: list[dict[str, Any]]
+) -> tuple[list[Any], float]:
+    """Like :func:`_evaluate_chunk`, also reporting the chunk's wall time.
+
+    Used only when observability is enabled: the per-chunk busy time is what
+    the pool-utilisation gauge is computed from.
+    """
+    t0 = time.perf_counter()
+    values = [fn(**point) for point in chunk]
+    return values, time.perf_counter() - t0
+
+
 class SweepExecutor:
     """A reusable process pool for repeated sweeps.
 
@@ -255,18 +272,55 @@ class SweepExecutor:
             self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
         return self._pool
 
-    def map(self, fn: Callable[..., Any], point_params: Sequence[dict[str, Any]]) -> list[Any]:
-        """Evaluate ``fn(**point)`` for every point, preserving input order."""
+    def map(
+        self,
+        fn: Callable[..., Any],
+        point_params: Sequence[dict[str, Any]],
+        obs: "Observability | None" = None,
+    ) -> list[Any]:
+        """Evaluate ``fn(**point)`` for every point, preserving input order.
+
+        With an :class:`~repro.obs.Observability` bundle attached, per-chunk
+        wall times come back from the workers and feed ``sim.sweep.chunk_s``
+        histograms plus the ``sim.sweep.pool_utilisation`` gauge (summed
+        chunk busy time over ``n_workers`` x elapsed wall time).
+        """
+        registry = obs.metrics if obs is not None else None
         if len(point_params) <= 1:
             return [fn(**point) for point in point_params]
         pool = self._ensure_pool()
         # A few chunks per worker balances load without re-pickling fn often.
         chunks = plan_chunks(len(point_params), n_chunks=self.n_workers * 4)
+        if registry is None:
+            futures = [
+                pool.submit(_evaluate_chunk, fn, [point_params[i] for i in chunk])
+                for chunk in chunks
+            ]
+            return [value for future in futures for value in future.result()]
+        t0 = time.perf_counter()
         futures = [
-            pool.submit(_evaluate_chunk, fn, [point_params[i] for i in chunk])
+            pool.submit(_evaluate_chunk_timed, fn, [point_params[i] for i in chunk])
             for chunk in chunks
         ]
-        return [value for future in futures for value in future.result()]
+        results = [future.result() for future in futures]
+        elapsed_s = time.perf_counter() - t0
+        labels = obs.label()
+        chunk_hist = registry.histogram(
+            "sim.sweep.chunk_s", labels, help="wall time per pool chunk"
+        )
+        busy_s = 0.0
+        for _, chunk_elapsed_s in results:
+            chunk_hist.observe(chunk_elapsed_s)
+            busy_s += chunk_elapsed_s
+        registry.counter(
+            "sim.sweep.chunks", labels, help="pool chunks executed"
+        ).inc(len(chunks))
+        if elapsed_s > 0:
+            registry.gauge(
+                "sim.sweep.pool_utilisation", labels,
+                help="summed chunk busy time / (n_workers x elapsed wall time)",
+            ).set(busy_s / (self.n_workers * elapsed_s))
+        return [value for values, _ in results for value in values]
 
     def shutdown(self) -> None:
         """Stop the pool's workers (the executor can be reused afterwards)."""
@@ -286,6 +340,7 @@ def run_sweep(
     params: Sequence[Mapping[str, Any]] | Iterable[Mapping[str, Any]],
     n_workers: int | None = None,
     executor: SweepExecutor | None = None,
+    obs: "Observability | None" = None,
 ) -> SweepResult:
     """Evaluate ``fn`` at every parameter point and collect the results.
 
@@ -310,6 +365,12 @@ ProcessPoolExecutor` with at most that many workers; results still come
         precedence over ``n_workers``: points run on the executor's warm
         worker pool instead of a fresh per-sweep pool, which amortises pool
         start-up across repeated sweeps.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle.  Metrics record
+        points evaluated, per-point wall times (serial sweeps), per-chunk
+        wall times and pool utilisation (executor sweeps); the tracer gets
+        one wall-clock span per sweep (and per point, when serial) on the
+        ``"sim.sweep (wall)"`` track.  Evaluation results are unaffected.
 
     Returns
     -------
@@ -330,9 +391,37 @@ ProcessPoolExecutor` with at most that many workers; results still come
         if n_workers < 0:
             raise ValueError(f"n_workers must be >= 0, got {n_workers}")
 
+    registry = obs.metrics if obs is not None else None
+    tracer = obs.tracer if obs is not None else None
+    sweep_start_s = tracer.wall_now() if tracer is not None else 0.0
+    t0 = time.perf_counter()
+
     serial = n_workers is None or n_workers <= 1 or len(point_params) <= 1
     if executor is not None:
-        values = executor.map(fn, point_params)
+        values = executor.map(fn, point_params, obs=obs)
+    elif serial and (registry is not None or tracer is not None):
+        point_hist = (
+            registry.histogram(
+                "sim.sweep.point_s", obs.label(),
+                help="wall time per serially evaluated sweep point",
+            )
+            if registry is not None
+            else None
+        )
+        pid = tracer.process("sim.sweep (wall)") if tracer is not None else 0
+        values = []
+        for index, point in enumerate(point_params):
+            start_s = tracer.wall_now() if tracer is not None else 0.0
+            p0 = time.perf_counter()
+            values.append(fn(**point))
+            elapsed_s = time.perf_counter() - p0
+            if point_hist is not None:
+                point_hist.observe(elapsed_s)
+            if tracer is not None:
+                tracer.complete(
+                    start_s, elapsed_s, f"point {index}", pid, 1,
+                    args={k: repr(v) for k, v in point.items()},
+                )
     elif serial:
         values = [fn(**point) for point in point_params]
     else:
@@ -341,6 +430,26 @@ ProcessPoolExecutor` with at most that many workers; results still come
             max_workers=max_workers, initializer=_init_worker, initargs=(fn,)
         ) as pool:
             values = list(pool.map(_evaluate_in_worker, point_params))
+
+    if registry is not None:
+        labels = obs.label()
+        registry.counter(
+            "sim.sweep.points", labels, help="sweep points evaluated"
+        ).inc(len(point_params))
+        registry.counter(
+            "sim.sweep.sweeps", labels, help="sweeps executed"
+        ).inc()
+        registry.gauge(
+            "sim.sweep.wall_time_s", labels,
+            help="cumulative wall time spent inside run_sweep",
+        ).inc(time.perf_counter() - t0)
+    if tracer is not None:
+        tracer.complete(
+            sweep_start_s, time.perf_counter() - t0,
+            f"sweep x{len(point_params)}",
+            tracer.process("sim.sweep (wall)"), 0,
+            args={"points": len(point_params), "serial": serial and executor is None},
+        )
 
     return SweepResult(
         points=tuple(

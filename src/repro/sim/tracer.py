@@ -7,6 +7,11 @@ long each dot product is and how many the layer performs), which the
 module turns a model (Sequential or Siamese) into the list of
 :class:`repro.nn.layers.LayerWorkload` records the accelerator models
 consume, plus a few summary statistics used in reports.
+
+Despite the name, nothing here records *execution* over time: this is
+static workload extraction from a model's layer shapes.  Execution
+tracing -- Chrome trace-event timelines of serving runs, sweeps, and
+studies -- lives in :mod:`repro.obs.tracing`.
 """
 
 from __future__ import annotations

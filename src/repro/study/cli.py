@@ -8,11 +8,16 @@ Subcommands::
     repro run <name> --json         # ... emit the StudyReport as JSON
     repro run <name> --out FILE     # ... write the report to a file
     repro run --all [--out DIR]     # full paper regeneration manifest
+    repro run <name> --trace t.json --metrics m.prom --profile p.json
+                                    # ... with observability artefacts
 
 Cross-cutting options of ``run`` -- ``--seed``, ``--workers``, ``--json``,
 ``--out`` -- are owned by the shared :class:`repro.study.StudyRunner`;
 per-experiment flags are auto-generated from the experiment's config
 dataclass, so registering a new experiment is all it takes to appear here.
+The observability flags (``--trace``, ``--metrics``, ``--profile``) attach
+a :class:`repro.obs.Observability` session to the runner; enabling them
+never changes a result (asserted byte-for-byte by the test suite).
 """
 
 from __future__ import annotations
@@ -73,6 +78,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None,
         help="write output to this file (with --all: to this directory)",
     )
+    run.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH", dest="trace_path",
+        help="record a Chrome trace-event timeline of the session to PATH "
+             "(open it at https://ui.perfetto.dev); results are unaffected",
+    )
+    run.add_argument(
+        "--metrics", type=Path, default=None, metavar="PATH", dest="metrics_path",
+        help="write the session's metrics registry to PATH (Prometheus text "
+             "exposition for .prom paths, JSON otherwise)",
+    )
+    run.add_argument(
+        "--profile", type=Path, default=None, metavar="PATH", dest="profile_path",
+        help="profile the serving event loop (wall-clock, per event kind) "
+             "and write the summary JSON to PATH",
+    )
     return parser
 
 
@@ -120,9 +140,16 @@ def _cmd_run_all(runner: StudyRunner, as_json: bool, out: Path | None) -> int:
     manifest_entries: dict[str, Any] = {}
     reports = []
     for exp in all_experiments():
-        print(f"running {exp.name} ...", file=sys.stderr)
+        print(f"running {exp.name} ...", file=sys.stderr, end="", flush=True)
         report = runner.run(exp.name)
         reports.append(report)
+        # Progress accounting reads back from the runner's registry -- the
+        # same source of truth the report envelope is built from.
+        wall_s = runner.registry.value(
+            "study.runner.wall_time_s", {"study": exp.name}
+        )
+        hits = runner.registry.value("study.runner.cache_hits", {"study": exp.name})
+        print(f" {wall_s:.2f}s wall, {int(hits)} cache hits", file=sys.stderr)
         entry: dict[str, Any] = {
             "wall_time_s": report.envelope["wall_time_s"],
             "cache_hits": report.envelope["cache_hits"],
@@ -203,17 +230,46 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro: {error}", file=sys.stderr)
         return 2
 
+    obs = None
+    if args.trace_path is not None or args.metrics_path is not None \
+            or args.profile_path is not None:
+        from repro.obs import Observability
+
+        obs = Observability.enabled(
+            metrics=True,
+            tracer=args.trace_path is not None,
+            profiler=args.profile_path is not None,
+        )
+
     try:
-        with StudyRunner(seed=args.seed, n_workers=args.workers) as runner:
+        with StudyRunner(seed=args.seed, n_workers=args.workers, obs=obs) as runner:
             if args.run_all:
-                return _cmd_run_all(runner, args.as_json, args.out)
-            report = runner.run(exp, config)
-            _emit(report.to_json() if args.as_json else report.to_text(), args.out)
-            return 0
+                code = _cmd_run_all(runner, args.as_json, args.out)
+            else:
+                report = runner.run(exp, config)
+                _emit(report.to_json() if args.as_json else report.to_text(), args.out)
+                code = 0
+        _write_obs_artefacts(obs, args)
+        return code
     except BrokenPipeError:
         # Downstream pipe (e.g. `repro run x | head`) closed early.
         sys.stderr.close()
         return 0
+
+
+def _write_obs_artefacts(obs, args) -> None:
+    """Write the session's trace/metrics/profile files, as requested."""
+    if obs is None:
+        return
+    if args.trace_path is not None:
+        obs.tracer.write(args.trace_path)
+        print(f"wrote trace {args.trace_path}", file=sys.stderr)
+    if args.metrics_path is not None:
+        obs.metrics.write(args.metrics_path)
+        print(f"wrote metrics {args.metrics_path}", file=sys.stderr)
+    if args.profile_path is not None:
+        obs.profiler.write(args.profile_path)
+        print(f"wrote profile {args.profile_path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

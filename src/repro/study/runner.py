@@ -11,14 +11,17 @@ pure ``(config, ctx) -> (result, text)`` functions.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
+from repro.obs.metrics import MetricsRegistry, cache_collector
 from repro.sim.sweep import SweepExecutor
 from repro.study.config import StudyConfig
 from repro.study.report import StudyReport
 from repro.study.registry import Experiment, experiment_names, get_experiment
-from repro.utils.cache import global_cache_stats
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.obs import Observability
 
 __all__ = ["RunContext", "StudyRunner", "run_experiment"]
 
@@ -32,22 +35,28 @@ class RunContext:
     pin their own internal seeds so their output reproduces the paper
     exactly regardless of it.  The report envelope records the runner's
     seed either way.
+
+    ``obs`` carries the session's :class:`~repro.obs.Observability` bundle
+    (``None`` when disabled); experiments thread it into serving runs and
+    sweeps.  Instrumentation never changes a result, so experiments may
+    ignore it freely.
     """
 
     seed: int = 0
     n_workers: int | None = None
     executor: SweepExecutor | None = None
+    obs: "Observability | None" = field(default=None, compare=False)
 
 
 def _cache_delta(
-    before: dict[str, Any], after: dict[str, Any]
+    before: dict[str, tuple[int, int]], after: dict[str, tuple[int, int]]
 ) -> dict[str, dict[str, int]]:
     """Per-function memoization hits/misses attributable to one run."""
     delta: dict[str, dict[str, int]] = {}
-    for name, info in after.items():
-        prior = before.get(name)
-        hits = info.hits - (prior.hits if prior else 0)
-        misses = info.misses - (prior.misses if prior else 0)
+    for name, (after_hits, after_misses) in after.items():
+        prior_hits, prior_misses = before.get(name, (0, 0))
+        hits = after_hits - prior_hits
+        misses = after_misses - prior_misses
         if hits or misses:
             delta[name] = {"hits": hits, "misses": misses}
     return delta
@@ -68,7 +77,12 @@ class StudyRunner:
     ...         print(runner.run(name).to_text())
     """
 
-    def __init__(self, seed: int = 0, n_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        n_workers: int | None = None,
+        obs: "Observability | None" = None,
+    ) -> None:
         if isinstance(seed, bool) or not isinstance(seed, int):
             raise TypeError(f"seed must be an int, got {seed!r}")
         if n_workers is not None:
@@ -78,6 +92,15 @@ class StudyRunner:
                 raise ValueError(f"n_workers must be >= 0, got {n_workers}")
         self.seed = seed
         self.n_workers = n_workers
+        self.obs = obs
+        # The runner always owns a metrics registry -- the session's (when an
+        # obs bundle with metrics is attached) or a private one -- so the
+        # report envelope's wall-time and cache accounting has one source of
+        # truth either way.
+        if obs is not None and obs.metrics is not None:
+            self.registry = obs.metrics
+        else:
+            self.registry = MetricsRegistry(collectors=(cache_collector,))
         self._executor: SweepExecutor | None = None
 
     @property
@@ -91,7 +114,23 @@ class StudyRunner:
 
     def context(self) -> RunContext:
         """The :class:`RunContext` experiments run under."""
-        return RunContext(seed=self.seed, n_workers=self.n_workers, executor=self.executor)
+        return RunContext(
+            seed=self.seed,
+            n_workers=self.n_workers,
+            executor=self.executor,
+            obs=self.obs,
+        )
+
+    def _cache_snapshot(self) -> dict[str, tuple[int, int]]:
+        """Per-function ``(hits, misses)`` read from the metrics registry."""
+        fields: dict[str, dict[str, float]] = {}
+        for sample in self.registry.collect(prefix="cache."):
+            fn = dict(sample.labels).get("fn", "")
+            fields.setdefault(fn, {})[sample.name] = float(sample.value)
+        return {
+            fn: (int(values.get("cache.hits", 0)), int(values.get("cache.misses", 0)))
+            for fn, values in fields.items()
+        }
 
     def run(
         self,
@@ -117,27 +156,59 @@ class StudyRunner:
                 f"got {type(config).__name__}"
             )
 
-        cache_before = global_cache_stats()
+        tracer = self.obs.tracer if self.obs is not None else None
+        trace_start_s = tracer.wall_now() if tracer is not None else 0.0
+        cache_before = self._cache_snapshot()
         start = time.perf_counter()
         result, text = exp.run(config, self.context())
         wall_time_s = time.perf_counter() - start
-        cache = _cache_delta(cache_before, global_cache_stats())
+        cache = _cache_delta(cache_before, self._cache_snapshot())
+        cache_hits = sum(entry["hits"] for entry in cache.values())
+        cache_misses = sum(entry["misses"] for entry in cache.values())
+
+        labels = {"study": exp.name}
+        self.registry.counter(
+            "study.runner.runs", labels, help="completed runs of this study"
+        ).inc()
+        self.registry.gauge(
+            "study.runner.wall_time_s", labels,
+            help="wall time of the most recent run",
+        ).set(wall_time_s)
+        self.registry.counter(
+            "study.runner.cache_hits", labels,
+            help="memoization hits attributed to this study's runs",
+        ).inc(cache_hits)
+        self.registry.counter(
+            "study.runner.cache_misses", labels,
+            help="memoization misses attributed to this study's runs",
+        ).inc(cache_misses)
+        if tracer is not None:
+            tracer.complete(
+                trace_start_s, wall_time_s, exp.name,
+                tracer.process("study.runner (wall)"), 0,
+                args={"cache_hits": cache_hits, "cache_misses": cache_misses},
+            )
 
         from repro import __version__
 
+        envelope: dict[str, Any] = {
+            "seed": self.seed,
+            "n_workers": self.n_workers,
+            "wall_time_s": wall_time_s,
+            "cache": cache,
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
+            "version": __version__,
+        }
+        if self.obs is not None and self.obs.metrics is not None:
+            # The session registry snapshot rides along in the envelope, so
+            # a saved StudyReport is a self-contained observability artefact.
+            envelope["metrics"] = self.registry.to_dict()
         return StudyReport(
             experiment=exp.name,
             config=config.to_dict(),
             text=text,
-            envelope={
-                "seed": self.seed,
-                "n_workers": self.n_workers,
-                "wall_time_s": wall_time_s,
-                "cache": cache,
-                "cache_hits": sum(entry["hits"] for entry in cache.values()),
-                "cache_misses": sum(entry["misses"] for entry in cache.values()),
-                "version": __version__,
-            },
+            envelope=envelope,
             result=result,
         )
 

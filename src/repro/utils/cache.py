@@ -32,7 +32,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable
 
-__all__ = ["CacheInfo", "global_cache_stats", "memoize"]
+__all__ = ["CacheInfo", "global_cache_stats", "iter_cache_infos", "memoize"]
 
 
 @dataclass(frozen=True)
@@ -57,16 +57,48 @@ _CACHE_REGISTRY: "weakref.WeakValueDictionary[str, Callable]" = weakref.WeakValu
 _CACHE_REGISTRY_LOCK = threading.Lock()
 
 
+def iter_cache_infos() -> list[tuple[str, CacheInfo]]:
+    """``(module.qualname, CacheInfo)`` for every live memoized function.
+
+    This is the primitive the metrics layer's cache collector reads
+    (:func:`repro.obs.metrics.cache_collector`); the source of truth stays
+    inside each wrapper, so surfacing the numbers costs the cache hot path
+    nothing.  Sorted by name for stable iteration.
+    """
+    with _CACHE_REGISTRY_LOCK:
+        functions = sorted(_CACHE_REGISTRY.items())
+    return [(name, fn.cache_info()) for name, fn in functions]
+
+
 def global_cache_stats() -> dict[str, CacheInfo]:
     """Snapshot the cache statistics of every live memoized function.
 
     Keys are ``module.qualname`` of the wrapped functions; values are their
     current :class:`CacheInfo`.  The study runner diffs two snapshots to
     report the cache hits/misses one experiment run was responsible for.
+
+    Since the observability PR this is a thin view over the unified
+    metrics registry: the numbers are read back from the ``cache.*``
+    samples that :func:`repro.obs.metrics.default_registry` exposes via
+    its cache collector, so there is exactly one accounting path.  (The
+    collector itself calls :func:`iter_cache_infos`; the import is lazy to
+    keep this module stdlib-only at import time.)
     """
-    with _CACHE_REGISTRY_LOCK:
-        functions = sorted(_CACHE_REGISTRY.items())
-    return {name: fn.cache_info() for name, fn in functions}
+    from repro.obs.metrics import default_registry
+
+    by_fn: dict[str, dict[str, float]] = {}
+    for sample in default_registry().collect(prefix="cache."):
+        fn = dict(sample.labels).get("fn", "")
+        by_fn.setdefault(fn, {})[sample.name] = float(sample.value)
+    return {
+        name: CacheInfo(
+            hits=int(fields.get("cache.hits", 0)),
+            misses=int(fields.get("cache.misses", 0)),
+            currsize=int(fields.get("cache.size", 0)),
+            maxsize=int(fields.get("cache.maxsize", 0)),
+        )
+        for name, fields in sorted(by_fn.items())
+    }
 
 
 def memoize(maxsize: int = 128) -> Callable:
